@@ -1,0 +1,298 @@
+//! IEEE-754 binary16 ("half") implemented from scratch.
+//!
+//! The accelerator's inference datapath runs Stage II/III arithmetic
+//! in reduced precision while training stays in full floating point
+//! (Table II shows why). `F16` provides bit-accurate storage and
+//! conversion semantics so the simulator can quantify the precision
+//! split.
+
+use std::fmt;
+
+/// A 16-bit IEEE-754 binary16 value.
+///
+/// Arithmetic is performed by converting through `f32` (exactly
+/// representable) and rounding the result back — the behaviour of a
+/// datapath with f32 accumulators and f16 storage, which is how the
+/// accelerator's inference pipeline operates.
+///
+/// # Examples
+///
+/// ```
+/// use fusion3d_arith::half::F16;
+///
+/// let x = F16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// let y = F16::from_f32(0.1);
+/// // 0.1 is not representable: conversion rounds.
+/// assert!((y.to_f32() - 0.1).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+const F16_FRACTION_BITS: u32 = 10;
+const F16_EXP_BIAS: i32 = 15;
+const F16_EXP_MAX: i32 = 0x1F;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Creates a value from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let frac = bits & 0x7F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            return if frac == 0 {
+                F16(sign | 0x7C00)
+            } else {
+                F16(sign | 0x7E00) // canonical quiet NaN
+            };
+        }
+        let unbiased = exp - 127;
+        let h_exp = unbiased + F16_EXP_BIAS;
+        if h_exp >= F16_EXP_MAX {
+            // Overflow to infinity.
+            return F16(sign | 0x7C00);
+        }
+        if h_exp <= 0 {
+            // Subnormal or zero in f16.
+            if h_exp < -10 {
+                return F16(sign); // underflow to zero
+            }
+            // Build the subnormal with the implicit bit, then shift.
+            // The f16 subnormal LSB weighs 2^-24 and the significand
+            // carries 2^(unbiased - 23) per unit, so the right shift
+            // is -unbiased - 1 (14..=24 over the subnormal range).
+            let sig = frac | 0x80_0000;
+            let shift = (-unbiased - 1) as u32;
+            let sub = sig >> shift;
+            let remainder = sig & ((1 << shift) - 1);
+            let half = 1u32 << (shift - 1);
+            let round_up = remainder > half || (remainder == half && sub & 1 == 1);
+            return F16(sign | (sub + round_up as u32) as u16);
+        }
+        // Normal: round 23-bit fraction to 10 bits, nearest-even.
+        let shift = 13u32;
+        let sub = frac >> shift;
+        let remainder = frac & 0x1FFF;
+        let half = 1u32 << (shift - 1);
+        let round_up = remainder > half || (remainder == half && sub & 1 == 1);
+        let mut h = (h_exp as u32) << F16_FRACTION_BITS | sub;
+        h += round_up as u32; // carry may bump the exponent, which is correct
+        if h >= 0x7C00 {
+            return F16(sign | 0x7C00);
+        }
+        F16(sign | h as u16)
+    }
+
+    /// Converts to `f32` exactly (every `F16` is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> F16_FRACTION_BITS) & 0x1F) as i32;
+        let frac = (self.0 & 0x3FF) as u32;
+        let bits = if exp == 0x1F {
+            // Inf / NaN.
+            sign | 0x7F80_0000 | (frac << 13)
+        } else if exp == 0 {
+            if frac == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: normalize into f32.
+                let mut e = -14i32;
+                let mut f = frac;
+                while f & 0x400 == 0 {
+                    f <<= 1;
+                    e -= 1;
+                }
+                f &= 0x3FF;
+                sign | (((e + 127) as u32) << 23) | (f << 13)
+            }
+        } else {
+            sign | (((exp - F16_EXP_BIAS + 127) as u32) << 23) | (frac << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Whether the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x3FF) != 0
+    }
+
+    /// Whether the value is ±∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// Whether the value is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+}
+
+impl std::ops::Add for F16 {
+    type Output = F16;
+
+    /// Half-precision addition (f32 compute, f16 result).
+    #[inline]
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl std::ops::Mul for F16 {
+    type Output = F16;
+
+    /// Half-precision multiplication (f32 compute, f16 result).
+    #[inline]
+    fn mul(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Rounds an entire `f32` slice through f16 storage in place,
+/// modelling a reduced-precision buffer.
+pub fn round_trip_f16(values: &mut [f32]) {
+    for v in values.iter_mut() {
+        *v = F16::from_f32(*v).to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xC000);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        // 1/3 rounds to 0x3555.
+        assert_eq!(F16::from_f32(1.0 / 3.0).to_bits(), 0x3555);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        assert!(F16::from_f32(1e9).is_infinite());
+        assert!(F16::from_f32(-1e9).to_f32().is_infinite());
+        assert_eq!(F16::from_f32(1e-10).to_bits(), 0); // underflow
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn subnormal_round_trip() {
+        // Smallest positive f16 subnormal: 2^-24.
+        let tiny = 2f32.powi(-24);
+        let h = F16::from_f32(tiny);
+        assert_eq!(h.to_bits(), 0x0001);
+        assert_eq!(h.to_f32(), tiny);
+        // Largest subnormal.
+        let big_sub = F16::from_bits(0x03FF);
+        assert!(big_sub.to_f32() < 2f32.powi(-14));
+        assert_eq!(F16::from_f32(big_sub.to_f32()).to_bits(), 0x03FF);
+    }
+
+    #[test]
+    fn arithmetic_via_f32() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((F16::ONE * F16::ZERO).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn precision_loss_is_bounded() {
+        // f16 has 11 significant bits: relative error <= 2^-11.
+        for &v in &[0.1f32, 3.151, 123.456, 0.001234, 999.9] {
+            let r = F16::from_f32(v).to_f32();
+            let rel = ((r - v) / v).abs();
+            assert!(rel <= 2f32.powi(-11), "value {v}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn round_trip_slice() {
+        let mut vals = vec![0.1f32, 1.0, -2.5, 1e-9];
+        round_trip_f16(&mut vals);
+        assert_eq!(vals[1], 1.0);
+        assert_eq!(vals[2], -2.5);
+        assert_eq!(vals[3], 0.0);
+        assert!((vals[0] - 0.1).abs() < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f16_to_f32_round_trips(bits: u16) {
+            let h = F16::from_bits(bits);
+            prop_assume!(!h.is_nan());
+            // Every non-NaN f16 is exactly representable in f32 and
+            // converts back to the same bits.
+            prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+        }
+
+        #[test]
+        fn prop_conversion_is_monotonic(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+        }
+
+        #[test]
+        fn prop_rounding_error_within_half_ulp(v in -60000.0f32..60000.0) {
+            prop_assume!(v.abs() > 1e-4);
+            let r = F16::from_f32(v).to_f32();
+            let rel = ((r - v) / v).abs();
+            prop_assert!(rel <= 2f32.powi(-11), "rel err {rel} for {v}");
+        }
+    }
+}

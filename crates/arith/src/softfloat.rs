@@ -1,0 +1,218 @@
+//! Bit-level decomposition of IEEE-754 single-precision values.
+//!
+//! The accelerator's datapath reasons about floats as
+//! (sign, exponent, fraction) triples — the FIEM multiplier
+//! (Technique T2-2) routes the fraction through an integer multiplier
+//! while handling the exponent separately. This module provides the
+//! exact decomposition/composition primitives that model uses.
+
+/// Number of explicit fraction bits in an `f32`.
+pub const F32_FRACTION_BITS: u32 = 23;
+/// Exponent bias of an `f32`.
+pub const F32_EXP_BIAS: i32 = 127;
+
+/// The fields of a decomposed `f32`.
+///
+/// For normal numbers the significand has the implicit leading 1 made
+/// explicit, so `significand` is in `[2^23, 2^24)`. Zeros and
+/// subnormals carry `significand < 2^23` with the minimum exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct F32Parts {
+    /// Sign bit (`true` = negative).
+    pub negative: bool,
+    /// Unbiased exponent of the significand interpreted as
+    /// `significand × 2^(exponent − 23)`.
+    pub exponent: i32,
+    /// 24-bit significand with the implicit bit made explicit.
+    pub significand: u32,
+}
+
+impl F32Parts {
+    /// Decomposes a finite `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or infinite — the accelerator datapath
+    /// never produces them and the cost model excludes the special
+    /// cases.
+    pub fn from_f32(value: f32) -> Self {
+        assert!(value.is_finite(), "F32Parts requires a finite value, got {value}");
+        let bits = value.to_bits();
+        let negative = bits >> 31 == 1;
+        let raw_exp = ((bits >> F32_FRACTION_BITS) & 0xFF) as i32;
+        let fraction = bits & ((1 << F32_FRACTION_BITS) - 1);
+        if raw_exp == 0 {
+            // Zero or subnormal: no implicit bit, minimum exponent.
+            F32Parts {
+                negative,
+                exponent: 1 - F32_EXP_BIAS,
+                significand: fraction,
+            }
+        } else {
+            F32Parts {
+                negative,
+                exponent: raw_exp - F32_EXP_BIAS,
+                significand: fraction | (1 << F32_FRACTION_BITS),
+            }
+        }
+    }
+
+    /// Recomposes the parts into an `f32`, normalizing and rounding to
+    /// nearest-even as hardware would. Values overflowing the `f32`
+    /// range saturate to ±`f32::MAX`; underflow flushes to zero (the
+    /// accelerator flushes subnormals).
+    pub fn to_f32(self) -> f32 {
+        compose(self.negative, self.exponent, self.significand as u64)
+    }
+}
+
+/// Builds an `f32` from a sign, an exponent, and an unnormalized
+/// significand `sig` interpreted as `sig × 2^(exponent − 23)`,
+/// rounding to nearest-even.
+///
+/// This is the normalization/rounding stage shared by the FIEM model
+/// and the reference FPMUL model. Subnormal results flush to zero;
+/// overflow saturates to ±`f32::MAX`.
+pub fn compose(negative: bool, exponent: i32, sig: u64) -> f32 {
+    if sig == 0 {
+        return if negative { -0.0 } else { 0.0 };
+    }
+    // Normalize the significand into [2^23, 2^24).
+    let mut exp = exponent;
+    let mut sig = sig;
+    let top = 63 - sig.leading_zeros() as i32; // position of the MSB
+    let shift = top - F32_FRACTION_BITS as i32;
+    if shift > 0 {
+        // Round to nearest-even while shifting right.
+        let round_bit = 1u64 << (shift - 1);
+        let sticky_mask = round_bit - 1;
+        let lsb = (sig >> shift) & 1;
+        let round_up = (sig & round_bit) != 0 && ((sig & sticky_mask) != 0 || lsb == 1);
+        sig >>= shift;
+        if round_up {
+            sig += 1;
+            if sig == (1 << (F32_FRACTION_BITS + 1)) {
+                sig >>= 1;
+                exp += 1;
+            }
+        }
+        exp += shift;
+    } else if shift < 0 {
+        sig <<= -shift;
+        exp += shift;
+    }
+    let raw_exp = exp + F32_EXP_BIAS;
+    if raw_exp >= 0xFF {
+        return if negative { -f32::MAX } else { f32::MAX };
+    }
+    if raw_exp <= 0 {
+        // Flush-to-zero on underflow.
+        return if negative { -0.0 } else { 0.0 };
+    }
+    let bits = ((negative as u32) << 31)
+        | ((raw_exp as u32) << F32_FRACTION_BITS)
+        | (sig as u32 & ((1 << F32_FRACTION_BITS) - 1));
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decompose_simple_values() {
+        let one = F32Parts::from_f32(1.0);
+        assert!(!one.negative);
+        assert_eq!(one.exponent, 0);
+        assert_eq!(one.significand, 1 << 23);
+
+        let neg_two = F32Parts::from_f32(-2.0);
+        assert!(neg_two.negative);
+        assert_eq!(neg_two.exponent, 1);
+
+        let half = F32Parts::from_f32(0.5);
+        assert_eq!(half.exponent, -1);
+
+        let zero = F32Parts::from_f32(0.0);
+        assert_eq!(zero.significand, 0);
+    }
+
+    #[test]
+    fn round_trip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 3.25, -123.75, 1e-20, 1e20, f32::MAX, f32::MIN_POSITIVE]
+        {
+            let parts = F32Parts::from_f32(v);
+            assert_eq!(parts.to_f32().to_bits(), v.to_bits(), "round trip of {v}");
+        }
+    }
+
+    #[test]
+    fn subnormals_flush_to_zero_on_compose() {
+        let tiny = f32::MIN_POSITIVE / 4.0; // subnormal
+        let parts = F32Parts::from_f32(tiny);
+        // Decomposition is lossless in fields, but composition flushes.
+        assert_eq!(parts.to_f32(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        F32Parts::from_f32(f32::NAN);
+    }
+
+    #[test]
+    fn compose_normalizes_wide_significands() {
+        // value = sig · 2^(exp − 23): 3·2^40 with exp = −17 is 3.0.
+        let v = compose(false, 23 - 40, 3u64 << 40);
+        assert_eq!(v, 3.0);
+        // And 6.0 one exponent up.
+        assert_eq!(compose(false, 23 - 40 + 1, 3u64 << 40), 6.0);
+    }
+
+    #[test]
+    fn compose_rounds_to_nearest_even() {
+        // compose(false, -2, sig) represents sig × 2^-25; the
+        // significand must shift right by 2, discarding a 2-bit
+        // remainder, so remainder 2 (= exactly half) exposes the
+        // ties-to-even rule.
+        // 2^25 + 2 → pre-round 2^23 (even), tie → stays: exactly 1.0.
+        assert_eq!(compose(false, -2, (1 << 25) + 2), 1.0);
+        // 2^25 + 6 → pre-round 2^23 + 1 (odd), tie → rounds up to
+        // 2^23 + 2: 1 + 2^-22.
+        assert_eq!(compose(false, -2, (1 << 25) + 6), 1.0 + 2f32.powi(-22));
+        // Remainder above half always rounds up: 2^25 + 3 → 1 + 2^-23.
+        assert_eq!(compose(false, -2, (1 << 25) + 3), 1.0 + 2f32.powi(-23));
+        // Remainder below half truncates: 2^25 + 1 → 1.0.
+        assert_eq!(compose(false, -2, (1 << 25) + 1), 1.0);
+    }
+
+    #[test]
+    fn compose_saturates_on_overflow() {
+        assert_eq!(compose(false, 200, 1 << 23), f32::MAX);
+        assert_eq!(compose(true, 200, 1 << 23), -f32::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_normals(bits in 0u32..0x7F80_0000) {
+            // Positive normals and zero (raw exponent < 255).
+            let v = f32::from_bits(bits);
+            prop_assume!(v.is_finite());
+            prop_assume!(v == 0.0 || v.is_normal());
+            let parts = F32Parts::from_f32(v);
+            prop_assert_eq!(parts.to_f32().to_bits(), v.to_bits());
+        }
+
+        #[test]
+        fn prop_sign_symmetry(v in -1e30f32..1e30) {
+            prop_assume!(v.is_normal() || v == 0.0);
+            let p = F32Parts::from_f32(v);
+            let n = F32Parts::from_f32(-v);
+            prop_assert_eq!(p.exponent, n.exponent);
+            prop_assert_eq!(p.significand, n.significand);
+            // Negation always flips the sign bit, including for ±0.
+            prop_assert_ne!(p.negative, n.negative);
+        }
+    }
+}

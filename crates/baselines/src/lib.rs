@@ -1,0 +1,20 @@
+//! # fusion3d-baselines
+//!
+//! Analytical models of every device the paper compares against, built
+//! from each system's published numbers (the paper itself compares
+//! against reported results, not re-runs): edge GPUs, the cloud GPU,
+//! and the prior NeRF accelerators of Tables I, III, and IV.
+//!
+//! ```
+//! use fusion3d_baselines::devices;
+//!
+//! let gpu = devices::rtx_2080ti();
+//! assert_eq!(gpu.typical_power_w, Some(250.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod devices;
+
+pub use devices::{DeviceSpec, NerfAlgorithm};

@@ -1,0 +1,163 @@
+//! Criterion microbenchmarks of the hot kernels: the hash encoding,
+//! the sampler, the bank mappings, the FIEM datapath, compositing, and
+//! the chip simulator itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fusion3d_arith::fiem::{fiem_mul, int2fp_fpmul};
+use fusion3d_mem::banks::{group_from_addresses, simulate_groups, BankMapping, VertexRequest};
+use fusion3d_nerf::encoding::{HashGrid, HashGridConfig};
+use fusion3d_nerf::math::{Ray, Vec3};
+use fusion3d_nerf::occupancy::OccupancyGrid;
+use fusion3d_nerf::render::{composite, composite_backward, ShadedSample};
+use fusion3d_nerf::sampler::{sample_ray, SamplerConfig};
+use fusion3d_core::sampling::{simulate_sampling, SamplingModuleConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_hash_encoding(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let grid = HashGrid::with_random_init(HashGridConfig::default(), &mut rng);
+    let mut out = vec![0.0f32; grid.config().output_dim()];
+    let p = Vec3::new(0.31, 0.62, 0.18);
+    c.bench_function("hash_grid_interpolate", |b| {
+        b.iter(|| grid.interpolate(black_box(p), &mut out))
+    });
+
+    let mut grads = vec![0.0f32; grid.param_count()];
+    let d_out = vec![1.0f32; grid.config().output_dim()];
+    c.bench_function("hash_grid_backward", |b| {
+        b.iter(|| grid.backward(black_box(p), &d_out, &mut grads))
+    });
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let occ = OccupancyGrid::from_oracle(32, 0.0, |p| p.distance(Vec3::splat(0.5)) < 0.3);
+    let ray = Ray::new(Vec3::new(-1.0, 0.45, 0.55), Vec3::X);
+    let cfg = SamplerConfig::default();
+    c.bench_function("sample_ray_occupancy_gated", |b| {
+        b.iter(|| sample_ray(black_box(&ray), &occ, &cfg))
+    });
+}
+
+fn bench_bank_mappings(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let groups: Vec<[VertexRequest; 8]> = (0..256)
+        .map(|_| group_from_addresses(std::array::from_fn(|_| rng.gen::<u32>() & 0x3FFF)))
+        .collect();
+    let refs: Vec<&[VertexRequest]> = groups.iter().map(|g| g.as_slice()).collect();
+    c.bench_function("bank_conflicts_naive", |b| {
+        b.iter(|| simulate_groups(BankMapping::LowOrderBits, refs.iter().copied()))
+    });
+    c.bench_function("bank_conflicts_two_level_tiling", |b| {
+        b.iter(|| simulate_groups(BankMapping::TwoLevelTiling, refs.iter().copied()))
+    });
+}
+
+fn bench_fiem(c: &mut Criterion) {
+    c.bench_function("fiem_mul", |b| {
+        b.iter(|| fiem_mul(black_box(0.7324f32), black_box(517)))
+    });
+    c.bench_function("int2fp_fpmul_reference", |b| {
+        b.iter(|| int2fp_fpmul(black_box(0.7324f32), black_box(517)))
+    });
+}
+
+fn bench_compositing(c: &mut Criterion) {
+    let samples: Vec<ShadedSample> = (0..64)
+        .map(|i| ShadedSample {
+            sigma: 0.5 + (i % 7) as f32,
+            color: Vec3::new(0.3, 0.5, 0.7),
+            dt: 0.01,
+        })
+        .collect();
+    c.bench_function("composite_forward", |b| {
+        b.iter(|| composite(black_box(&samples), Vec3::ONE, false))
+    });
+    c.bench_function("composite_backward", |b| {
+        b.iter(|| composite_backward(black_box(&samples), Vec3::ONE, Vec3::ONE))
+    });
+}
+
+fn bench_chip_sim(c: &mut Criterion) {
+    let workloads: Vec<fusion3d_nerf::sampler::RayWorkload> = (0..1024)
+        .map(|i| fusion3d_nerf::sampler::RayWorkload {
+            valid_pairs: 2,
+            samples_per_pair: vec![8 + (i % 16) as u16, 4],
+            steps_per_pair: vec![12 + (i % 24) as u16, 6],
+            lattice_steps_per_pair: vec![60, 24],
+        })
+        .collect();
+    let fusion = SamplingModuleConfig::fusion3d();
+    let naive = SamplingModuleConfig::naive_baseline();
+    c.bench_function("sampling_sim_dynamic", |b| {
+        b.iter(|| simulate_sampling(&fusion, black_box(&workloads)))
+    });
+    c.bench_function("sampling_sim_naive", |b| {
+        b.iter(|| simulate_sampling(&naive, black_box(&workloads)))
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    use fusion3d_nerf::dataset::Dataset;
+    use fusion3d_nerf::model::{ModelConfig, NerfModel};
+    use fusion3d_nerf::scenes::{ProceduralScene, SyntheticScene};
+    use fusion3d_nerf::trainer::{Trainer, TrainerConfig};
+
+    let scene = ProceduralScene::synthetic(SyntheticScene::Hotdog);
+    let dataset = Dataset::from_scene(&scene, 3, 16, 0.9);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let model = NerfModel::new(
+        ModelConfig {
+            grid: HashGridConfig {
+                levels: 4,
+                features_per_level: 2,
+                log2_table_size: 11,
+                base_resolution: 4,
+                max_resolution: 32,
+            },
+            hidden_dim: 16,
+            geo_feature_dim: 7,
+        },
+        &mut rng,
+    );
+    let mut trainer = Trainer::new(
+        model,
+        TrainerConfig {
+            rays_per_batch: 32,
+            sampler: SamplerConfig { steps_per_diagonal: 48, max_samples_per_ray: 24 },
+            occupancy_warmup: u32::MAX, // keep cost stable across iterations
+            ..TrainerConfig::default()
+        },
+    );
+    c.bench_function("trainer_step_32_rays", |b| {
+        b.iter(|| trainer.step(black_box(&dataset), &mut rng))
+    });
+}
+
+fn bench_quantized_mlp(c: &mut Criterion) {
+    use fusion3d_nerf::mlp::{Activation, Mlp, MlpCache};
+    use fusion3d_nerf::mlp_int8::QuantizedMlp;
+
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mlp = Mlp::new(&[22, 32, 32, 3], Activation::Relu, Activation::Sigmoid, &mut rng);
+    let q = QuantizedMlp::quantize(&mlp);
+    let input: Vec<f32> = (0..22).map(|i| (i as f32 * 0.13).sin()).collect();
+    let mut cache = MlpCache::new();
+    c.bench_function("mlp_forward_f32", |b| {
+        b.iter(|| mlp.forward(black_box(&input), &mut cache).to_vec())
+    });
+    c.bench_function("mlp_forward_int8", |b| b.iter(|| q.forward(black_box(&input))));
+}
+
+criterion_group!(
+    benches,
+    bench_hash_encoding,
+    bench_sampler,
+    bench_bank_mappings,
+    bench_fiem,
+    bench_compositing,
+    bench_chip_sim,
+    bench_training_step,
+    bench_quantized_mlp
+);
+criterion_main!(benches);

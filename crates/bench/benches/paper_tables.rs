@@ -1,0 +1,29 @@
+//! Non-criterion bench target that regenerates every paper table and
+//! figure, so `cargo bench --workspace` produces the full experiment
+//! report alongside the microbenchmarks.
+
+use fusion3d_bench::experiments as e;
+
+fn main() {
+    println!("Fusion-3D (MICRO 2024) reproduction: all tables and figures\n");
+    e::table1::run();
+    e::table2::run();
+    e::fig3::run();
+    e::table3::run();
+    e::fig8::run();
+    e::fig9_fig10::run_fig9();
+    e::fig9_fig10::run_fig10();
+    e::fig11::run();
+    e::table4_table5::run_table4();
+    e::table4_table5::run_table5();
+    e::table6::run();
+    e::fig12::run();
+    e::fig13::run_fig13a();
+    e::fig13::run_fig13b();
+    e::fig14::run();
+    e::ablations::run_t2();
+    e::ablations::run_breakdown();
+    e::ablations::run_transfer();
+    e::ablations::run_dense_moe();
+    e::scaling::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the per-stage speedup breakdown vs Jetson XNX.
+fn main() {
+    fusion3d_bench::experiments::ablations::run_breakdown();
+}

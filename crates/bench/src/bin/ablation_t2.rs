@@ -1,0 +1,4 @@
+//! Regenerates the Technique T2 ablation (shared pipeline + FIEM).
+fn main() {
+    fusion3d_bench::experiments::ablations::run_t2();
+}

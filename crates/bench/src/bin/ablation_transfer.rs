@@ -1,0 +1,5 @@
+//! Regenerates the TensoRF transfer ablation.
+fn main() {
+    fusion3d_bench::experiments::ablations::run_transfer();
+    fusion3d_bench::experiments::ablations::run_dense_moe();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10 (breakdowns and the V/F curve).
+fn main() {
+    fusion3d_bench::experiments::fig9_fig10::run_fig10();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11 (per-scene speedups vs baselines).
+fn main() {
+    fusion3d_bench::experiments::fig11::run();
+}

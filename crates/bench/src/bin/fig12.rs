@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12 (tiling ablations).
+fn main() {
+    fusion3d_bench::experiments::fig12::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (MoE convergence; bandwidth vs model size).
+fn main() {
+    fusion3d_bench::experiments::fig13::run_fig13a();
+    fusion3d_bench::experiments::fig13::run_fig13b();
+}

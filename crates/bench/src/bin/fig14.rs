@@ -1,0 +1,4 @@
+//! Regenerates Fig. 14(b) (chiplet I/O-module area sweep).
+fn main() {
+    fusion3d_bench::experiments::fig14::run();
+}

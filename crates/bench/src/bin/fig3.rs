@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3 (per-stage data volumes and design boundaries).
+fn main() {
+    fusion3d_bench::experiments::fig3::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (MoE expert dominance visualization).
+fn main() {
+    fusion3d_bench::experiments::fig8::run();
+}

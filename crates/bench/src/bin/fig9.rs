@@ -1,0 +1,4 @@
+//! Regenerates Fig. 9 (prototype spec and configuration).
+fn main() {
+    fusion3d_bench::experiments::fig9_fig10::run_fig9();
+}

@@ -1,0 +1,4 @@
+//! Runs the chip-count scaling study.
+fn main() {
+    fusion3d_bench::experiments::scaling::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I.
+fn main() {
+    fusion3d_bench::experiments::table1::run();
+}

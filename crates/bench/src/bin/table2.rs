@@ -1,0 +1,4 @@
+//! Regenerates Table II (INT8 quantized-training PSNR sweep).
+fn main() {
+    fusion3d_bench::experiments::table2::run();
+}

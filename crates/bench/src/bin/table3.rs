@@ -1,0 +1,4 @@
+//! Regenerates Table III (single-chip comparison).
+fn main() {
+    fusion3d_bench::experiments::table3::run();
+}

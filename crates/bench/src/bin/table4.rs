@@ -1,0 +1,4 @@
+//! Regenerates Table IV (multi-chip comparison).
+fn main() {
+    fusion3d_bench::experiments::table4_table5::run_table4();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table V (per-scene NeRF-360 comparison vs 2080Ti).
+fn main() {
+    fusion3d_bench::experiments::table4_table5::run_table5();
+}

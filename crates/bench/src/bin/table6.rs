@@ -1,0 +1,4 @@
+//! Regenerates Table VI (Stage-I T1 ablation).
+fn main() {
+    fusion3d_bench::experiments::table6::run();
+}

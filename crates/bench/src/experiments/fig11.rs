@@ -1,0 +1,95 @@
+//! Fig. 11: per-scene normalized speedup and energy efficiency of the
+//! single-chip accelerator against the baseline devices, over the
+//! eight NeRF-Synthetic-class scenes.
+
+use crate::support::{print_table, scene_trace};
+use fusion3d_baselines::devices::{self, DeviceSpec};
+use fusion3d_core::chip::FusionChip;
+use fusion3d_nerf::scenes::SyntheticScene;
+
+/// Per-scene speedup and energy-efficiency ratios against one
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct SceneComparison {
+    /// Scene name.
+    pub scene: &'static str,
+    /// Our sustained inference throughput (points/s).
+    pub ours_pts: f64,
+    /// Inference speedup vs the baseline.
+    pub speedup: Option<f64>,
+    /// Inference energy-efficiency gain vs the baseline.
+    pub energy_gain: Option<f64>,
+}
+
+/// Compares the scaled-up chip against `baseline` on every scene.
+pub fn compare_against(baseline: &DeviceSpec) -> Vec<SceneComparison> {
+    let chip = FusionChip::scaled_up();
+    SyntheticScene::ALL
+        .iter()
+        .map(|&scene| {
+            let trace = scene_trace(scene);
+            let report = chip.simulate_frame(&trace);
+            let ours_pts = report.points_per_second();
+            let ours_nj = chip.config().typical_power_w / ours_pts * 1e9;
+            SceneComparison {
+                scene: scene.name(),
+                ours_pts,
+                speedup: baseline.inference_mpts.map(|m| ours_pts / (m * 1e6)),
+                energy_gain: baseline.inference_nj_per_pt.map(|nj| nj / ours_nj),
+            }
+        })
+        .collect()
+}
+
+/// Prints the Fig. 11 reproduction.
+pub fn run() {
+    let baselines =
+        [devices::jetson_xnx(), devices::rtnerf_edge(), devices::neurex_edge(), devices::metavrain()];
+    let mut body = Vec::new();
+    for b in &baselines {
+        for c in compare_against(b) {
+            body.push(vec![
+                b.name.to_string(),
+                c.scene.to_string(),
+                format!("{:.1}", c.ours_pts / 1e6),
+                c.speedup.map_or("N/R".into(), |s| format!("{s:.1}x")),
+                c.energy_gain.map_or("N/R".into(), |g| format!("{g:.1}x")),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 11: per-scene normalized speedup / energy efficiency (inference)",
+        &["Baseline", "Scene", "Ours M/s", "Speedup", "Energy eff."],
+        &body,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_every_baseline_on_every_scene() {
+        for baseline in [devices::jetson_xnx(), devices::rtnerf_edge(), devices::neurex_edge()] {
+            for c in compare_against(&baseline) {
+                if let Some(s) = c.speedup {
+                    assert!(s > 1.0, "{} on {}: speedup {s}", baseline.name, c.scene);
+                }
+                if let Some(g) = c.energy_gain {
+                    assert!(g > 1.0, "{} on {}: gain {g}", baseline.name, c.scene);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_vs_xnx_is_order_tens() {
+        // The paper's breakdown quotes ~47x inference speedup vs the
+        // Jetson XNX; the per-scene normalized numbers land in the
+        // tens.
+        let comps = compare_against(&devices::jetson_xnx());
+        let mean: f64 =
+            comps.iter().filter_map(|c| c.speedup).sum::<f64>() / comps.len() as f64;
+        assert!((15.0..=60.0).contains(&mean), "mean XNX speedup {mean}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 14(b): the chiplet design's I/O-module area versus model size
+//! at a fixed 0.6 GB/s off-package bandwidth.
+
+use crate::support::print_table;
+use fusion3d_multichip::chiplet::{sweep_model_sizes, IO_LOGIC_AREA_MM2};
+
+/// The compute chips' aggregate parameter SRAM (4 chips × 640 KB).
+pub const CHIPS_SRAM_KB: f64 = 4.0 * 640.0;
+
+/// Prints the Fig. 14(b) reproduction.
+pub fn run() {
+    let log2_sizes = [14u32, 15, 16, 17, 18, 19, 20];
+    let points = sweep_model_sizes(&log2_sizes, 10, 1, CHIPS_SRAM_KB); // F=2 at f16 = 1 f32-equivalent
+    let body: Vec<Vec<String>> = log2_sizes
+        .iter()
+        .zip(&points)
+        .map(|(l, p)| {
+            vec![
+                format!("2^{l}"),
+                format!("{:.0}", p.model_kb),
+                format!("{:.0}", p.buffer_kb),
+                format!("{:.2}", p.io_area_mm2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 14(b): I/O-module area to hold 0.6 GB/s off-package bandwidth",
+        &["Table size", "Model KB", "Buffer KB", "I/O area mm^2"],
+        &body,
+    );
+    println!(
+        "\nBase I/O logic: {IO_LOGIC_AREA_MM2} mm^2. Past the chips' {CHIPS_SRAM_KB:.0} KB\n\
+         of parameter SRAM the buffer grows linearly with model size — the\n\
+         area/bandwidth trade-off the paper flags for future work."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion3d_multichip::chiplet::sweep_model_sizes;
+
+    #[test]
+    fn io_area_explodes_with_model_size() {
+        let points = sweep_model_sizes(&[14, 20], 10, 1, CHIPS_SRAM_KB);
+        assert!(points[0].buffer_kb == 0.0);
+        assert!(points[1].io_area_mm2 > 20.0 * points[0].io_area_mm2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 9 (prototype spec and resource configuration) and Fig. 10
+//! (area/power breakdowns, measured voltage–frequency curve).
+
+use crate::support::print_table;
+use fusion3d_core::config::{frequency_at_voltage_mhz, ChipConfig, Module};
+
+/// Prints the Fig. 9(b)/(c) reproduction: the prototype spec table and
+/// per-module resource configuration.
+pub fn run_fig9() {
+    let p = ChipConfig::prototype();
+    print_table(
+        "Fig. 9(b): prototype chip specification",
+        &["Item", "Value"],
+        &[
+            vec!["Technology".into(), "28 nm CMOS".into()],
+            vec!["Clock".into(), format!("{:.0} MHz", p.clock_mhz)],
+            vec!["Core voltage".into(), format!("{:.2} V", p.core_voltage)],
+            vec!["Typical power".into(), format!("{:.2} W", p.typical_power_w)],
+            vec!["On-chip SRAM".into(), format!("{:.0} KB", p.total_sram_kb())],
+            vec!["Rendering".into(), "36 FPS (measured)".into()],
+            vec!["Training".into(), "1.8 s to 25 PSNR (measured)".into()],
+        ],
+    );
+    print_table(
+        "Fig. 9(c): module configuration (prototype vs scaled-up)",
+        &["Module", "Prototype", "Scaled-up"],
+        &[
+            vec!["Sampling cores".into(), "16".into(), "16".into()],
+            vec![
+                "Feature interpolation cores".into(),
+                p.interp_cores.to_string(),
+                ChipConfig::scaled_up().interp_cores.to_string(),
+            ],
+            vec!["Post-processing modules".into(), "1".into(), "1".into()],
+            vec![
+                "Memory clusters".into(),
+                p.memory_clusters.to_string(),
+                ChipConfig::scaled_up().memory_clusters.to_string(),
+            ],
+            vec![
+                "Die area (mm^2)".into(),
+                format!("{:.1}", p.die_area_mm2),
+                format!("{:.1}", ChipConfig::scaled_up().die_area_mm2),
+            ],
+        ],
+    );
+}
+
+/// Prints the Fig. 10(c)/(d) reproduction: breakdowns and the V/F
+/// curve.
+pub fn run_fig10() {
+    let p = ChipConfig::prototype();
+    let body: Vec<Vec<String>> = Module::ALL
+        .iter()
+        .map(|&m| {
+            vec![
+                m.name().to_string(),
+                format!("{:.2} ({:.0}%)", p.module_area_mm2(m),
+                    100.0 * p.module_area_mm2(m) / p.die_area_mm2),
+                format!("{:.3} ({:.0}%)", p.module_power_w(m),
+                    100.0 * p.module_power_w(m) / p.typical_power_w),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 10(c): area and power breakdown of the fabricated chip",
+        &["Module", "Area mm^2", "Power W"],
+        &body,
+    );
+
+    println!("\nFig. 10(d): measured voltage-frequency curve");
+    println!("{:>8}  {:>10}", "V (V)", "f (MHz)");
+    let mut v = 0.60;
+    while v <= 1.101 {
+        println!("{v:>8.2}  {:>10.0}", frequency_at_voltage_mhz(v));
+        v += 0.05;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vf_curve_covers_measured_range() {
+        // The curve spans the chip's measured operating window and
+        // passes through the 600 MHz / 0.95 V silicon point.
+        assert!(frequency_at_voltage_mhz(0.6) > 50.0);
+        assert!(frequency_at_voltage_mhz(1.1) > 700.0);
+        assert!((frequency_at_voltage_mhz(0.95) - 600.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper table/figure; each exposes `run*` functions
+//! that print the reproduced rows/series.
+
+pub mod ablations;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig3;
+pub mod fig8;
+pub mod fig9_fig10;
+pub mod scaling;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4_table5;
+pub mod table6;

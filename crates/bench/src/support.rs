@@ -1,0 +1,193 @@
+//! Shared infrastructure for the experiment harness: deterministic
+//! scene workloads, table formatting, and paper-scale constants.
+
+use fusion3d_nerf::camera::{orbit_poses, Camera};
+use fusion3d_nerf::math::Vec3;
+use fusion3d_nerf::occupancy::OccupancyGrid;
+use fusion3d_nerf::pipeline::{trace_frame, FrameTrace};
+use fusion3d_nerf::sampler::SamplerConfig;
+use fusion3d_nerf::scenes::{LargeScene, ProceduralScene, SyntheticScene};
+
+/// Resolution of the ground-truth occupancy grids used to drive the
+/// simulator traces.
+pub const OCCUPANCY_RES: u32 = 32;
+
+/// Trace resolution: workload statistics are intensive (per-ray), so
+/// traces run at 160×160 and FPS numbers scale to the paper's 800×800.
+pub const TRACE_RES: u32 = 160;
+
+/// The paper's evaluation frame resolution.
+pub const PAPER_RES: u32 = 800;
+
+/// Rays in a paper-scale frame.
+pub const PAPER_RAYS: u64 = (PAPER_RES as u64) * (PAPER_RES as u64);
+
+/// Scaling factor from trace frames to paper frames.
+pub fn frame_scale() -> f64 {
+    (PAPER_RAYS as f64) / (TRACE_RES as f64 * TRACE_RES as f64)
+}
+
+/// The sampler settings used for all simulator traces: a fine lattice
+/// (the paper quotes up to 255 samples per ray), so occupancy skipping
+/// matters and per-scene Stage-I costs spread as in Table VI.
+pub fn trace_sampler() -> SamplerConfig {
+    SamplerConfig { steps_per_diagonal: 512, max_samples_per_ray: 256 }
+}
+
+/// A deterministic evaluation camera orbiting the scene.
+pub fn trace_camera(resolution: u32) -> Camera {
+    let pose = orbit_poses(Vec3::new(0.5, 0.4, 0.5), 1.25, 8)[2];
+    Camera::new(pose, resolution, resolution, 0.9)
+}
+
+/// Ground-truth occupancy grid of a synthetic scene.
+pub fn scene_occupancy(scene: SyntheticScene) -> OccupancyGrid {
+    ProceduralScene::synthetic(scene).occupancy_grid(OCCUPANCY_RES)
+}
+
+/// Ground-truth occupancy grid of a large scene.
+pub fn large_scene_occupancy(scene: LargeScene) -> OccupancyGrid {
+    ProceduralScene::large(scene).occupancy_grid(OCCUPANCY_RES)
+}
+
+/// The Stage-I workload trace of a synthetic scene's evaluation frame.
+pub fn scene_trace(scene: SyntheticScene) -> FrameTrace {
+    trace_frame(&scene_occupancy(scene), &trace_camera(TRACE_RES), &trace_sampler())
+}
+
+/// The Stage-I workload trace of a large scene's evaluation frame.
+pub fn large_scene_trace(scene: LargeScene) -> FrameTrace {
+    trace_frame(&large_scene_occupancy(scene), &trace_camera(TRACE_RES), &trace_sampler())
+}
+
+/// Partitions a scene occupancy grid into `experts` per-chip gates,
+/// emulating the *partial* spatial specialization MoE training
+/// produces (Fig. 8: regions are dominated by one expert, but many are
+/// shared by two or more). Cells deep inside another expert's
+/// azimuthal sector (the inner half around its center) are pruned from
+/// an expert's gate; boundary regions stay shared by all.
+pub fn partition_occupancy(full: &OccupancyGrid, experts: usize) -> Vec<OccupancyGrid> {
+    let mut grids: Vec<OccupancyGrid> =
+        (0..experts).map(|_| OccupancyGrid::new(full.resolution(), full.threshold())).collect();
+    if experts == 1 {
+        grids[0] = full.clone();
+        return grids;
+    }
+    let sector = std::f32::consts::TAU / experts as f32;
+    for cell in full.occupied_cells() {
+        let c = full.cell_center(cell);
+        let angle = (c.z - 0.5).atan2(c.x - 0.5) + std::f32::consts::PI;
+        for (e, grid) in grids.iter_mut().enumerate() {
+            // Angular distance to each *other* expert's sector center.
+            let strongly_owned_by_other = (0..experts).any(|m| {
+                if m == e {
+                    return false;
+                }
+                let center = (m as f32 + 0.5) * sector;
+                let mut d = (angle - center).abs();
+                if d > std::f32::consts::PI {
+                    d = std::f32::consts::TAU - d;
+                }
+                d < 0.25 * sector
+            });
+            if !strongly_owned_by_other {
+                grid.set_cell(cell, true);
+            }
+        }
+    }
+    grids
+}
+
+/// Formats one table row with fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Prints a titled table: a header row, a separator, and body rows.
+pub fn print_table(title: &str, header: &[&str], body: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in body {
+        for (i, cell) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    println!("\n=== {title} ===");
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    println!("{}", row(&header_cells, &widths));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for r in body {
+        println!("{}", row(r, &widths));
+    }
+}
+
+/// Formats an optional metric, using the paper's N/R marker for
+/// missing cells.
+pub fn opt(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "N/R".to_string(),
+    }
+}
+
+/// Formats a yes/no cell.
+pub fn yn(v: bool) -> String {
+    if v { "Yes" } else { "No" }.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_nonempty() {
+        let a = scene_trace(SyntheticScene::Lego);
+        let b = scene_trace(SyntheticScene::Lego);
+        assert_eq!(a.total_samples, b.total_samples);
+        assert!(a.total_samples > 0);
+        assert_eq!(a.ray_count() as u64, (TRACE_RES as u64).pow(2));
+    }
+
+    #[test]
+    fn sparse_scenes_have_fewer_samples() {
+        let mic = scene_trace(SyntheticScene::Mic);
+        let ship = scene_trace(SyntheticScene::Ship);
+        assert!(
+            mic.total_samples * 2 < ship.total_samples,
+            "mic {} vs ship {}",
+            mic.total_samples,
+            ship.total_samples
+        );
+    }
+
+    #[test]
+    fn partition_covers_and_overlaps() {
+        let full = scene_occupancy(SyntheticScene::Hotdog);
+        let parts = partition_occupancy(&full, 4);
+        assert_eq!(parts.len(), 4);
+        // Every occupied cell is owned by at least one expert.
+        for cell in full.occupied_cells() {
+            assert!(parts.iter().any(|g| g.is_cell_occupied(cell)));
+        }
+        // Each expert holds a strict subset.
+        let total: f64 = parts.iter().map(|g| g.occupancy_ratio()).sum();
+        assert!(total >= full.occupancy_ratio());
+        for p in &parts {
+            assert!(p.occupancy_ratio() < full.occupancy_ratio());
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(opt(Some(1.234), 2), "1.23");
+        assert_eq!(opt(None, 2), "N/R");
+        assert_eq!(yn(true), "Yes");
+        assert_eq!(yn(false), "No");
+    }
+}

@@ -1,0 +1,286 @@
+//! Cycle-stepped simulation of the three-stage pipeline with finite
+//! inter-stage buffering and backpressure.
+//!
+//! [`crate::chip::FusionChip::simulate_frame`] reports the steady-state
+//! makespan (the slowest stage); this module refines it by stepping the
+//! pipeline cycle by cycle through the memory clusters' ping-pong
+//! FIFOs: Stage I pushes samples into the sample FIFO, Stage II drains
+//! it and pushes encoded points into the feature FIFO, Stage III
+//! drains that. A full FIFO back-pressures its producer (stall); an
+//! empty FIFO starves its consumer. Undersized buffers surface
+//! immediately as stall/starve cycles — the sizing question the
+//! chip's Memory Clusters answer with their software-configurable
+//! ping-pong arrays.
+
+use crate::chip::FusionChip;
+use crate::interp::PipelineMode;
+use crate::sampling::simulate_sampling;
+use fusion3d_nerf::pipeline::FrameTrace;
+
+/// Inter-stage buffer capacities, in sample points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferConfig {
+    /// Capacity of the Stage I → Stage II sample FIFO.
+    pub sample_fifo: u64,
+    /// Capacity of the Stage II → Stage III feature FIFO.
+    pub feature_fifo: u64,
+}
+
+impl BufferConfig {
+    /// The chip's memory-cluster sizing: one ping-pong array pair per
+    /// boundary, each holding ~4k in-flight points.
+    pub fn fusion3d() -> Self {
+        BufferConfig { sample_fifo: 4096, feature_fifo: 4096 }
+    }
+}
+
+/// Result of the cycle-stepped pipeline simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineSimReport {
+    /// Total cycles until the last point drains from Stage III.
+    pub cycles: u64,
+    /// Cycles Stage I spent blocked on a full sample FIFO.
+    pub s1_stall: u64,
+    /// Cycles Stage II spent starved (empty input) or blocked (full
+    /// output).
+    pub s2_starve: u64,
+    /// Stage II blocked-on-output cycles.
+    pub s2_stall: u64,
+    /// Cycles Stage III spent starved.
+    pub s3_starve: u64,
+    /// Points drained through the whole pipeline.
+    pub points: u64,
+}
+
+impl PipelineSimReport {
+    /// Fraction of total cycles lost to any stall or starvation.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let lost = self.s1_stall + self.s2_starve + self.s2_stall + self.s3_starve;
+        lost as f64 / (self.cycles as f64 * 3.0)
+    }
+}
+
+/// Steps the pipeline cycle by cycle for one frame.
+///
+/// Stage rates come from the chip's module models: Stage I's sustained
+/// sample production rate is derived from its scheduling simulation,
+/// Stage II and III from their points-per-cycle. Fractional rates are
+/// handled with accumulators, so a stage producing 0.5 points/cycle
+/// emits one point every other cycle.
+///
+/// # Panics
+///
+/// Panics if either FIFO capacity is zero.
+pub fn simulate_pipeline(
+    chip: &FusionChip,
+    trace: &FrameTrace,
+    buffers: &BufferConfig,
+    training: bool,
+) -> PipelineSimReport {
+    assert!(
+        buffers.sample_fifo > 0 && buffers.feature_fifo > 0,
+        "FIFO capacities must be positive"
+    );
+    let total = trace.total_samples;
+    if total == 0 {
+        return PipelineSimReport {
+            cycles: 0,
+            s1_stall: 0,
+            s2_starve: 0,
+            s2_stall: 0,
+            s3_starve: 0,
+            points: 0,
+        };
+    }
+
+    // Sustained per-stage rates in points per cycle.
+    let s1 = simulate_sampling(chip.sampling_config(), &trace.workloads);
+    let r1 = total as f64 / s1.cycles.max(1) as f64;
+    let mode = if training { PipelineMode::Training } else { PipelineMode::Inference };
+    let s2_cycles = {
+        let c = chip.config();
+        let interp = crate::interp::InterpModuleConfig::fusion3d(c.interp_cores, c.model_levels);
+        interp.cycles_for_points(total, trace.ray_count() as u64, mode)
+    };
+    let r2 = total as f64 / s2_cycles.max(1) as f64;
+    let s3_cycles = {
+        let pp = crate::postproc::PostProcConfig::fusion3d(5312);
+        if training {
+            pp.training_cycles(total, trace.ray_count() as u64)
+        } else {
+            pp.frame_cycles(total, trace.ray_count() as u64)
+        }
+    };
+    let r3 = total as f64 / s3_cycles.max(1) as f64;
+
+    let mut report = PipelineSimReport {
+        cycles: 0,
+        s1_stall: 0,
+        s2_starve: 0,
+        s2_stall: 0,
+        s3_starve: 0,
+        points: 0,
+    };
+    let (mut produced1, mut produced2, mut drained) = (0u64, 0u64, 0u64);
+    let (mut fifo1, mut fifo2) = (0u64, 0u64);
+    let (mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0f64, 0.0f64);
+    // Hard upper bound so a modelling bug cannot spin forever.
+    let limit = (s1.cycles + s2_cycles + s3_cycles + 1000) * 4;
+
+    while drained < total {
+        report.cycles += 1;
+        if report.cycles > limit {
+            panic!("pipeline simulation failed to drain within {limit} cycles");
+        }
+        // Stage I.
+        if produced1 < total {
+            acc1 += r1;
+            let want = acc1 as u64;
+            if want > 0 {
+                let space = buffers.sample_fifo - fifo1;
+                let emit = want.min(space).min(total - produced1);
+                if emit < want && space < want {
+                    report.s1_stall += 1;
+                }
+                produced1 += emit;
+                fifo1 += emit;
+                acc1 -= emit as f64;
+                // Cap the accumulator so stalls don't bank up work.
+                acc1 = acc1.min(r1.max(1.0) * 2.0);
+            }
+        }
+        // Stage II.
+        if produced2 < total {
+            acc2 += r2;
+            let want = acc2 as u64;
+            if want > 0 {
+                if fifo1 == 0 {
+                    report.s2_starve += 1;
+                    acc2 = acc2.min(r2.max(1.0) * 2.0);
+                } else {
+                    let space = buffers.feature_fifo - fifo2;
+                    if space == 0 {
+                        report.s2_stall += 1;
+                        acc2 = acc2.min(r2.max(1.0) * 2.0);
+                    } else {
+                        let take = want.min(fifo1).min(space);
+                        fifo1 -= take;
+                        fifo2 += take;
+                        produced2 += take;
+                        acc2 -= take as f64;
+                    }
+                }
+            }
+        }
+        // Stage III.
+        acc3 += r3;
+        let want = acc3 as u64;
+        if want > 0 {
+            if fifo2 == 0 {
+                report.s3_starve += 1;
+                acc3 = acc3.min(r3.max(1.0) * 2.0);
+            } else {
+                let take = want.min(fifo2);
+                fifo2 -= take;
+                drained += take;
+                acc3 -= take as f64;
+            }
+        }
+    }
+    report.points = drained;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion3d_nerf::sampler::RayWorkload;
+
+    fn trace(rays: usize, samples: u16) -> FrameTrace {
+        FrameTrace {
+            workloads: (0..rays)
+                .map(|_| RayWorkload {
+                    valid_pairs: 1,
+                    samples_per_pair: vec![samples],
+                    steps_per_pair: vec![samples + 4],
+                    lattice_steps_per_pair: vec![samples * 4],
+                })
+                .collect(),
+            total_samples: rays as u64 * samples as u64,
+            total_steps: rays as u64 * (samples as u64 + 4),
+        }
+    }
+
+    #[test]
+    fn drains_every_point() {
+        let chip = FusionChip::scaled_up();
+        let t = trace(512, 13);
+        let r = simulate_pipeline(&chip, &t, &BufferConfig::fusion3d(), false);
+        assert_eq!(r.points, t.total_samples);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn pipeline_time_bounds_the_analytic_makespan() {
+        // The cycle-stepped result is at least the slowest stage and
+        // within a modest factor of it (fill/drain overhead only) when
+        // buffers are adequately sized.
+        let chip = FusionChip::scaled_up();
+        let t = trace(2048, 13);
+        let analytic = chip.simulate_frame(&t).cycles;
+        let stepped = simulate_pipeline(&chip, &t, &BufferConfig::fusion3d(), false).cycles;
+        assert!(stepped >= analytic, "stepped {stepped} < analytic {analytic}");
+        assert!(
+            (stepped as f64) < analytic as f64 * 1.25,
+            "excess pipeline overhead: {stepped} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_free() {
+        let chip = FusionChip::prototype();
+        let r = simulate_pipeline(&chip, &FrameTrace::default(), &BufferConfig::fusion3d(), false);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.points, 0);
+        assert_eq!(r.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn undersized_feature_fifo_backpressures_stage_two() {
+        let chip = FusionChip::scaled_up();
+        let t = trace(1024, 13);
+        let tight = BufferConfig { sample_fifo: 4096, feature_fifo: 1 };
+        let roomy = BufferConfig::fusion3d();
+        let r_tight = simulate_pipeline(&chip, &t, &tight, true);
+        let r_roomy = simulate_pipeline(&chip, &t, &roomy, true);
+        assert!(r_tight.cycles >= r_roomy.cycles);
+        assert!(
+            r_tight.s2_stall + r_tight.s3_starve >= r_roomy.s2_stall + r_roomy.s3_starve,
+            "tight buffers should not reduce stalls"
+        );
+    }
+
+    #[test]
+    fn training_mode_takes_longer() {
+        let chip = FusionChip::scaled_up();
+        let t = trace(512, 16);
+        let inf = simulate_pipeline(&chip, &t, &BufferConfig::fusion3d(), false);
+        let train = simulate_pipeline(&chip, &t, &BufferConfig::fusion3d(), true);
+        assert!(train.cycles > inf.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let chip = FusionChip::prototype();
+        simulate_pipeline(
+            &chip,
+            &trace(4, 2),
+            &BufferConfig { sample_fifo: 0, feature_fifo: 1 },
+            false,
+        );
+    }
+}

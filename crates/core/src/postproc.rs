@@ -1,0 +1,112 @@
+//! Cycle-level model of the Post-Processing Module (Stage III): the
+//! MLP engine and the volumetric renderer.
+//!
+//! Following the paper's design methodology (Sec. VI-C, *Speedup
+//! Breakdown*), Stage III's compute resources are sized so that its
+//! point rate matches Stage II's: the MAC array retires one sample's
+//! MLP work per cycle in inference. Training multiplies the MLP work
+//! by roughly 3× (forward, input-gradient, and weight-gradient
+//! passes), mirroring Stage II's three-step updates so the pipeline
+//! stays balanced.
+
+/// Configuration of the post-processing module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostProcConfig {
+    /// Multiply-accumulate units in the MLP engine (per cycle).
+    pub mac_units: u64,
+    /// MLP multiply-accumulates per sample point (density + color
+    /// networks, forward pass).
+    pub macs_per_point: u64,
+    /// Renderer pipeline: fixed cycles per ray for compositing set-up
+    /// and write-back.
+    pub renderer_ray_overhead: u64,
+    /// Training cost multiplier over the forward pass (backward
+    /// input- and weight-gradient passes).
+    pub training_multiplier: u64,
+}
+
+impl PostProcConfig {
+    /// The scaled-up chip's configuration: the MAC array is sized to
+    /// retire one point per cycle for the paper-scale MLPs (a
+    /// 32-wide × 2-layer density net and 64-wide color net come to
+    /// roughly 5.3 k MACs; the engine provides that per cycle).
+    pub fn fusion3d(macs_per_point: u64) -> Self {
+        PostProcConfig {
+            mac_units: macs_per_point,
+            macs_per_point,
+            renderer_ray_overhead: 2,
+            training_multiplier: 3,
+        }
+    }
+
+    /// Cycles the MLP engine needs per point in inference.
+    pub fn mlp_cycles_per_point(&self) -> u64 {
+        self.macs_per_point.div_ceil(self.mac_units)
+    }
+
+    /// Points per cycle in inference (MLP-bound; the renderer is
+    /// pipelined behind it at one point per cycle).
+    pub fn points_per_cycle_inference(&self) -> f64 {
+        1.0 / self.mlp_cycles_per_point() as f64
+    }
+
+    /// Points per cycle in training.
+    pub fn points_per_cycle_training(&self) -> f64 {
+        self.points_per_cycle_inference() / self.training_multiplier as f64
+    }
+
+    /// Cycles to post-process a frame of `points` samples over `rays`
+    /// rays in inference. The renderer is a separate pipelined unit
+    /// running concurrently with the MLP engine, so the module is
+    /// bound by whichever stream is longer.
+    pub fn frame_cycles(&self, points: u64, rays: u64) -> u64 {
+        (points * self.mlp_cycles_per_point()).max(rays * self.renderer_ray_overhead)
+    }
+
+    /// Cycles for one training batch of `points` samples over `rays`
+    /// rays (forward + backward through MLP and compositing).
+    pub fn training_cycles(&self, points: u64, rays: u64) -> u64 {
+        (points * self.mlp_cycles_per_point() * self.training_multiplier)
+            .max(rays * self.renderer_ray_overhead * 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_design_retires_one_point_per_cycle() {
+        let cfg = PostProcConfig::fusion3d(5312);
+        assert_eq!(cfg.mlp_cycles_per_point(), 1);
+        assert_eq!(cfg.points_per_cycle_inference(), 1.0);
+        assert!((cfg.points_per_cycle_training() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undersized_engine_serializes() {
+        let cfg = PostProcConfig { mac_units: 1000, ..PostProcConfig::fusion3d(5000) };
+        assert_eq!(cfg.mlp_cycles_per_point(), 5);
+        assert_eq!(cfg.points_per_cycle_inference(), 0.2);
+    }
+
+    #[test]
+    fn frame_and_training_cycle_accounting() {
+        let cfg = PostProcConfig::fusion3d(4096);
+        // MLP-bound frame: the pipelined renderer hides behind it.
+        let frame = cfg.frame_cycles(10_000, 640);
+        assert_eq!(frame, 10_000);
+        let train = cfg.training_cycles(10_000, 640);
+        assert_eq!(train, 30_000);
+        assert!(train > frame);
+        // Renderer-bound corner: almost no samples, many rays.
+        assert_eq!(cfg.frame_cycles(10, 640), 640 * 2);
+    }
+
+    #[test]
+    fn zero_workload_is_free() {
+        let cfg = PostProcConfig::fusion3d(1024);
+        assert_eq!(cfg.frame_cycles(0, 0), 0);
+        assert_eq!(cfg.training_cycles(0, 0), 0);
+    }
+}

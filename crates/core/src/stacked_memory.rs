@@ -1,0 +1,169 @@
+//! 3D-stacked-memory scaling analysis (Sec. VIII, second discussion).
+//!
+//! Post-layout, about half of the Feature Interpolation Module is
+//! SRAM, and the chip's critical path is a long wire crossing the SRAM
+//! block. Stacking the memory on a second die frees that area for
+//! logic — effectively doubling the interpolation core count within
+//! the same footprint — and removes the critical wire, raising the
+//! clock. This module projects the resulting single-chip performance
+//! and how many chips a multi-chip deployment then needs for the same
+//! aggregate capability, plus the tapeout-cost effect of reusing one
+//! memory die across compute chips and the I/O module.
+
+use crate::config::ChipConfig;
+
+/// Fraction of the Feature Interpolation Module occupied by SRAM
+/// (post-layout, Sec. VIII).
+pub const INTERP_SRAM_FRACTION: f64 = 0.5;
+
+/// Clock uplift from removing the SRAM-crossing critical wire.
+pub const STACKED_CLOCK_UPLIFT: f64 = 1.25;
+
+/// Projection of a chip rebuilt with 3D-stacked memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackedProjection {
+    /// Interpolation cores after reclaiming the SRAM area.
+    pub interp_cores: usize,
+    /// Projected clock in MHz.
+    pub clock_mhz: f64,
+    /// Logic-die area in mm² (the stacked memory die is separate).
+    pub logic_area_mm2: f64,
+    /// Peak inference throughput in points per second.
+    pub inference_pts: f64,
+    /// Single-chip speedup over the planar design.
+    pub speedup: f64,
+}
+
+/// Projects the scaled-up chip onto a 3D-stacked-memory process.
+///
+/// The interpolation module's SRAM half moves to the stacked die; the
+/// freed area hosts a second copy of the interpolation logic (doubling
+/// cores), and the clock rises by [`STACKED_CLOCK_UPLIFT`].
+pub fn project_stacked(base: &ChipConfig) -> StackedProjection {
+    let interp_cores = base.interp_cores * 2;
+    let clock_mhz = base.clock_mhz * STACKED_CLOCK_UPLIFT;
+    // Logic area: the die sheds its cluster SRAM and the interpolation
+    // module's SRAM half, but keeps everything else.
+    let interp_area = 0.46 * base.die_area_mm2;
+    let cluster_area = 0.13 * base.die_area_mm2;
+    let logic_area_mm2 = base.die_area_mm2 - interp_area * INTERP_SRAM_FRACTION - cluster_area;
+    // Stage II throughput: cores/levels points per cycle at the new
+    // clock (Stage III is re-matched, as in the base methodology).
+    let base_pts =
+        base.interp_points_per_cycle() * base.cycles_per_second();
+    let inference_pts = (interp_cores as f64 / base.model_levels as f64)
+        * clock_mhz
+        * 1e6;
+    StackedProjection {
+        interp_cores,
+        clock_mhz,
+        logic_area_mm2,
+        inference_pts,
+        speedup: inference_pts / base_pts,
+    }
+}
+
+/// Chips needed to match a target aggregate throughput, before and
+/// after stacking — the "reduce the number of chips needed for
+/// multi-chip configurations" claim.
+pub fn chips_needed(target_pts: f64, per_chip_pts: f64) -> usize {
+    assert!(per_chip_pts > 0.0, "per-chip throughput must be positive");
+    (target_pts / per_chip_pts).ceil().max(1.0) as usize
+}
+
+/// Relative tapeout cost of a multi-chip deployment: each distinct die
+/// pays a mask-set cost, each instance a per-area cost. Reusing the
+/// stacked memory die across the compute chips and the I/O module
+/// amortizes one mask set over all of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TapeoutCost {
+    /// Number of distinct mask sets.
+    pub mask_sets: usize,
+    /// Total silicon area across all dies, mm².
+    pub total_area_mm2: f64,
+}
+
+/// Tapeout accounting for a planar system: one compute-die mask plus
+/// one I/O-die mask; every die carries its own SRAM.
+pub fn planar_tapeout(chips: usize, chip_area_mm2: f64, io_area_mm2: f64) -> TapeoutCost {
+    TapeoutCost {
+        mask_sets: 2,
+        total_area_mm2: chips as f64 * chip_area_mm2 + io_area_mm2,
+    }
+}
+
+/// Tapeout accounting for a stacked system: compute-logic mask, I/O
+/// mask, and a single memory-die mask *shared* by both, with the
+/// memory die instanced on every stack.
+pub fn stacked_tapeout(
+    chips: usize,
+    logic_area_mm2: f64,
+    memory_die_mm2: f64,
+    io_area_mm2: f64,
+) -> TapeoutCost {
+    TapeoutCost {
+        mask_sets: 3,
+        total_area_mm2: chips as f64 * (logic_area_mm2 + memory_die_mm2)
+            + io_area_mm2
+            + memory_die_mm2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacking_roughly_doubles_throughput() {
+        let base = ChipConfig::scaled_up();
+        let proj = project_stacked(&base);
+        assert_eq!(proj.interp_cores, 20);
+        assert!((proj.clock_mhz - 750.0).abs() < 1e-9);
+        // 2x cores × 1.25x clock = 2.5x points per second.
+        assert!((proj.speedup - 2.5).abs() < 1e-9, "speedup {}", proj.speedup);
+        assert!(proj.inference_pts > 1.4e9);
+        // The logic die shrinks below the planar die.
+        assert!(proj.logic_area_mm2 < base.die_area_mm2);
+        assert!(proj.logic_area_mm2 > 0.4 * base.die_area_mm2);
+    }
+
+    #[test]
+    fn fewer_chips_for_the_same_deployment() {
+        let base = ChipConfig::scaled_up();
+        let planar_pts = base.interp_points_per_cycle() * base.cycles_per_second();
+        let stacked = project_stacked(&base);
+        // A deployment targeting ~2.4 G pts/s needs four planar chips
+        // but only two stacked ones.
+        let target = 4.0 * planar_pts;
+        assert_eq!(chips_needed(target, planar_pts), 4);
+        assert_eq!(chips_needed(target, stacked.inference_pts), 2);
+        // Degenerate: any positive target needs at least one chip.
+        assert_eq!(chips_needed(1.0, planar_pts), 1);
+    }
+
+    #[test]
+    fn memory_die_reuse_amortizes_masks() {
+        let base = ChipConfig::scaled_up();
+        let proj = project_stacked(&base);
+        let planar = planar_tapeout(4, base.die_area_mm2, 0.18);
+        // Memory die: the SRAM the logic die shed.
+        let memory_die = base.die_area_mm2 - proj.logic_area_mm2;
+        let stacked = stacked_tapeout(2, proj.logic_area_mm2, memory_die, 0.18);
+        // One extra mask set, but less total silicon for the same
+        // deployment capability (2 stacked chips ≈ 4 planar, earlier
+        // test) — the cost trade the paper sketches.
+        assert_eq!(stacked.mask_sets, planar.mask_sets + 1);
+        assert!(
+            stacked.total_area_mm2 < planar.total_area_mm2,
+            "stacked {} vs planar {}",
+            stacked.total_area_mm2,
+            planar.total_area_mm2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_rejected() {
+        chips_needed(1e9, 0.0);
+    }
+}

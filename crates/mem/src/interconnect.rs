@@ -1,0 +1,113 @@
+//! Compute-to-memory interconnect cost models.
+//!
+//! With naive banking, any of the eight corner requests may target any
+//! bank, so the interpolation cores need an 8×8 crossbar with
+//! arbitration. Under two-level hash tiling the assignment is static —
+//! corner `i` always reads bank `(i >> 1) × 2 + parity` — so the
+//! crossbar collapses to fixed one-to-one wiring. Fig. 12(b)/(c) report
+//! the resulting area and latency savings; this module reproduces them
+//! structurally.
+
+/// Cost of an interconnect between `ports` requesters and `ports`
+/// banks of `width_bits`-wide data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectCost {
+    /// Area in gate units (mux/wiring cells).
+    pub area: f64,
+    /// Traversal latency in cycles.
+    pub latency_cycles: u32,
+}
+
+/// A full crossbar: every input can reach every output. Area grows
+/// with `ports² × width` (one mux leg per input/output pair) plus an
+/// arbiter per output; traversal costs an arbitration cycle plus a
+/// mux cycle.
+pub fn crossbar(ports: u32, width_bits: u32) -> InterconnectCost {
+    assert!(ports > 0 && width_bits > 0, "interconnect dimensions must be positive");
+    let mux_area = (ports * ports * width_bits) as f64;
+    let arbiter_area = (ports * ports) as f64 * 2.0;
+    InterconnectCost { area: mux_area + arbiter_area, latency_cycles: 2 }
+}
+
+/// Fixed one-to-one wiring: each requester is hardwired to its bank.
+/// Area is linear in `ports × width` (buffers only) and traversal is a
+/// single cycle with no arbitration.
+pub fn one_to_one(ports: u32, width_bits: u32) -> InterconnectCost {
+    assert!(ports > 0 && width_bits > 0, "interconnect dimensions must be positive");
+    InterconnectCost {
+        area: (ports * width_bits) as f64 * 0.5,
+        latency_cycles: 1,
+    }
+}
+
+/// Comparison of the two interconnects for the Stage-II bank fabric —
+/// the model behind Fig. 12(b) and the fixed part of Fig. 12(c).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectComparison {
+    /// Crossbar cost (naive banking).
+    pub crossbar: InterconnectCost,
+    /// One-to-one cost (two-level tiling).
+    pub one_to_one: InterconnectCost,
+    /// Fractional area saving.
+    pub area_saving: f64,
+    /// Per-traversal latency saving in cycles.
+    pub latency_saving_cycles: u32,
+}
+
+/// Compares the two fabrics at the accelerator's Stage-II geometry.
+pub fn compare(ports: u32, width_bits: u32) -> InterconnectComparison {
+    let xbar = crossbar(ports, width_bits);
+    let direct = one_to_one(ports, width_bits);
+    InterconnectComparison {
+        crossbar: xbar,
+        one_to_one: direct,
+        area_saving: 1.0 - direct.area / xbar.area,
+        latency_saving_cycles: xbar.latency_cycles - direct.latency_cycles,
+    }
+}
+
+/// The accelerator's Stage-II fabric geometry: 8 corner requesters,
+/// 32-bit feature words (two 16-bit features).
+pub const STAGE2_PORTS: u32 = 8;
+/// Feature word width between interpolation cores and hash SRAM.
+pub const STAGE2_WIDTH_BITS: u32 = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_grows_quadratically() {
+        let small = crossbar(4, 32);
+        let big = crossbar(8, 32);
+        // 4x the mux area for 2x the ports.
+        assert!(big.area / small.area > 3.5 && big.area / small.area < 4.5);
+    }
+
+    #[test]
+    fn one_to_one_grows_linearly() {
+        let small = one_to_one(4, 32);
+        let big = one_to_one(8, 32);
+        assert_eq!(big.area / small.area, 2.0);
+        assert_eq!(big.latency_cycles, 1);
+    }
+
+    #[test]
+    fn tiling_eliminates_most_interconnect_area() {
+        let cmp = compare(STAGE2_PORTS, STAGE2_WIDTH_BITS);
+        // Fig. 12(b): the one-to-one fabric is a small fraction of the
+        // crossbar. Structurally the saving is ~1 − 1/(2·ports).
+        assert!(
+            cmp.area_saving > 0.85,
+            "area saving {} too small",
+            cmp.area_saving
+        );
+        assert_eq!(cmp.latency_saving_cycles, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_ports() {
+        crossbar(0, 32);
+    }
+}

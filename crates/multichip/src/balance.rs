@@ -1,0 +1,238 @@
+//! Workload-balance analysis and gate rebalancing across chips.
+//!
+//! Challenge C4: all chips must finish before the fused result exists,
+//! so the slowest chip bounds the system. Technique T4 removes the
+//! *memory-access* component of runtime variation; what remains is the
+//! *spatial* component — experts own different amounts of occupied
+//! space. This module measures that imbalance and provides a greedy
+//! rebalancer that reassigns boundary cells between neighbouring
+//! experts' gates until their sample loads even out — the knob a
+//! deployment turns on top of the conflict-free access T4 guarantees.
+
+use fusion3d_nerf::occupancy::OccupancyGrid;
+use fusion3d_nerf::sampler::RayWorkload;
+
+/// Per-chip load summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Retained samples per chip.
+    pub samples: Vec<u64>,
+    /// Marching steps per chip.
+    pub steps: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Builds the report from per-chip Stage-I workloads.
+    pub fn from_workloads(per_chip: &[Vec<RayWorkload>]) -> Self {
+        LoadReport {
+            samples: per_chip
+                .iter()
+                .map(|chip| chip.iter().map(|w| w.total_samples() as u64).sum())
+                .collect(),
+            steps: per_chip
+                .iter()
+                .map(|chip| chip.iter().map(|w| w.total_steps() as u64).sum())
+                .collect(),
+        }
+    }
+
+    /// Max-over-mean imbalance of the per-chip sample loads (1.0 is
+    /// perfectly balanced).
+    pub fn sample_imbalance(&self) -> f64 {
+        imbalance(&self.samples)
+    }
+
+    /// Max-over-mean imbalance of the per-chip marching steps.
+    pub fn step_imbalance(&self) -> f64 {
+        imbalance(&self.steps)
+    }
+}
+
+fn imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if mean > 0.0 {
+        max / mean
+    } else {
+        1.0
+    }
+}
+
+/// Greedily rebalances per-chip occupancy gates: while the heaviest
+/// gate exceeds the lightest by more than `tolerance` (fractional),
+/// one occupied cell exclusive to the heaviest gate moves to the
+/// lightest. Cell weight is approximated as uniform, which matches
+/// the fixed-step sampler's cost model.
+///
+/// Returns the number of cells moved. The union of occupied cells is
+/// preserved — rebalancing only changes ownership, never coverage.
+///
+/// # Panics
+///
+/// Panics if `gates` is empty or resolutions differ.
+pub fn rebalance_gates(gates: &mut [OccupancyGrid], tolerance: f64) -> usize {
+    assert!(!gates.is_empty(), "need at least one gate");
+    let resolution = gates[0].resolution();
+    assert!(
+        gates.iter().all(|g| g.resolution() == resolution),
+        "gates must share a resolution"
+    );
+    let mut moved = 0;
+    loop {
+        let loads: Vec<usize> = gates.iter().map(|g| g.occupied_cells().count()).collect();
+        let (heavy, &heavy_load) =
+            loads.iter().enumerate().max_by_key(|(_, &l)| l).expect("non-empty");
+        let (light, &light_load) =
+            loads.iter().enumerate().min_by_key(|(_, &l)| l).expect("non-empty");
+        if heavy == light
+            || heavy_load as f64 <= (light_load as f64 + 1.0) * (1.0 + tolerance)
+        {
+            return moved;
+        }
+        // Move one cell owned *only* by the heavy gate (moving a
+        // shared cell would change nothing or lose coverage).
+        let candidate = gates[heavy].occupied_cells().find(|&cell| {
+            gates
+                .iter()
+                .enumerate()
+                .all(|(i, g)| i == heavy || !g.is_cell_occupied(cell))
+        });
+        match candidate {
+            Some(cell) => {
+                gates[heavy].set_cell(cell, false);
+                gates[light].set_cell(cell, true);
+                moved += 1;
+            }
+            // Every heavy cell is shared: nothing exclusive to move.
+            None => return moved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusion3d_nerf::math::Vec3;
+
+    fn workload(samples: u16) -> RayWorkload {
+        RayWorkload {
+            valid_pairs: 1,
+            samples_per_pair: vec![samples],
+            steps_per_pair: vec![samples + 4],
+            lattice_steps_per_pair: vec![samples * 3],
+        }
+    }
+
+    #[test]
+    fn load_report_and_imbalance() {
+        let per_chip = vec![
+            vec![workload(10); 4], // 40 samples
+            vec![workload(10); 4],
+            vec![workload(30); 4], // 120 samples
+        ];
+        let report = LoadReport::from_workloads(&per_chip);
+        assert_eq!(report.samples, vec![40, 40, 120]);
+        let imb = report.sample_imbalance();
+        assert!((imb - 120.0 / (200.0 / 3.0)).abs() < 1e-9);
+        assert!(report.step_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn balanced_loads_report_unity() {
+        let per_chip = vec![vec![workload(12); 8]; 4];
+        let report = LoadReport::from_workloads(&per_chip);
+        assert_eq!(report.sample_imbalance(), 1.0);
+        assert_eq!(report.step_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn rebalancing_evens_exclusive_cells() {
+        // Gate 0 owns a big exclusive region; gate 1 owns a small one.
+        let mut a = OccupancyGrid::new(8, 0.0);
+        let mut b = OccupancyGrid::new(8, 0.0);
+        for cell in 0..200 {
+            a.set_cell(cell, true);
+        }
+        for cell in 200..220 {
+            b.set_cell(cell, true);
+        }
+        let union_before: Vec<usize> = {
+            let mut v: Vec<usize> = a.occupied_cells().chain(b.occupied_cells()).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut gates = [a, b];
+        let moved = rebalance_gates(&mut gates, 0.1);
+        assert!(moved > 0);
+        let (la, lb) =
+            (gates[0].occupied_cells().count() as f64, gates[1].occupied_cells().count() as f64);
+        assert!(la <= (lb + 1.0) * 1.1 + 1.0, "still imbalanced: {la} vs {lb}");
+        // Coverage preserved.
+        let mut union_after: Vec<usize> =
+            gates[0].occupied_cells().chain(gates[1].occupied_cells()).collect();
+        union_after.sort_unstable();
+        union_after.dedup();
+        assert_eq!(union_after, union_before);
+    }
+
+    #[test]
+    fn shared_cells_are_never_moved() {
+        // Both gates own the same cells; nothing is exclusive, so
+        // rebalancing is a no-op.
+        let mut a = OccupancyGrid::new(4, 0.0);
+        let mut b = OccupancyGrid::new(4, 0.0);
+        for cell in 0..30 {
+            a.set_cell(cell, true);
+            b.set_cell(cell, true);
+        }
+        // Gate b additionally owns ten exclusive cells, making it the
+        // heavier gate; those are the only movable ones.
+        for cell in 30..40 {
+            b.set_cell(cell, true);
+        }
+        let mut gates = [b, a];
+        let moved = rebalance_gates(&mut gates, 0.05);
+        // Only exclusive cells (30..40) can move.
+        assert!(moved <= 10);
+        for cell in 0..30 {
+            assert!(gates[0].is_cell_occupied(cell) || gates[1].is_cell_occupied(cell));
+        }
+    }
+
+    #[test]
+    fn rebalanced_gates_balance_real_traces() {
+        // A lopsided scene: geometry concentrated in one octant.
+        let full = OccupancyGrid::from_oracle(12, 0.0, |p| {
+            p.distance(Vec3::new(0.25, 0.4, 0.25)) < 0.22
+        });
+        // Naive partition: split by X half — one side gets everything.
+        let mut gates = [
+            OccupancyGrid::new(12, 0.0),
+            OccupancyGrid::new(12, 0.0),
+        ];
+        for cell in full.occupied_cells() {
+            let c = full.cell_center(cell);
+            let owner = usize::from(c.x >= 0.5);
+            gates[owner].set_cell(cell, true);
+        }
+        let before: Vec<usize> = gates.iter().map(|g| g.occupied_cells().count()).collect();
+        assert!(imbalance(&before.iter().map(|&c| c as u64).collect::<Vec<_>>()) > 1.5);
+        rebalance_gates(&mut gates, 0.1);
+        let after: Vec<u64> =
+            gates.iter().map(|g| g.occupied_cells().count() as u64).collect();
+        assert!(
+            imbalance(&after) < 1.15,
+            "rebalancing failed: {after:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a resolution")]
+    fn mismatched_resolutions_rejected() {
+        let mut gates = [OccupancyGrid::new(4, 0.0), OccupancyGrid::new(8, 0.0)];
+        rebalance_gates(&mut gates, 0.1);
+    }
+}

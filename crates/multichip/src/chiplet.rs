@@ -1,0 +1,102 @@
+//! Chiplet-based scaling analysis (Sec. VIII, Fig. 14).
+//!
+//! With an in-package interconnect, the I/O module can host a buffer
+//! that caches model data beyond the compute chips' SRAM, letting the
+//! same chips be *temporally* reused for larger models while the
+//! off-package bandwidth stays at 0.6 GB/s. The buffer is not free:
+//! Fig. 14(b) plots how the I/O module's area must grow with model
+//! size. This module reproduces that trade-off.
+
+/// SRAM area density at 28 nm, in mm² per KB (from the compute chips'
+/// post-layout: ~3.1 mm² of SRAM macros hold 1099 KB).
+pub const SRAM_MM2_PER_KB: f64 = 0.0028;
+
+/// The I/O module's logic area without any buffer, in mm² (0.5 % of
+/// the four-chip system).
+pub const IO_LOGIC_AREA_MM2: f64 = 0.175;
+
+/// One point of the Fig. 14(b) sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipletIoPoint {
+    /// Model parameter storage in KB.
+    pub model_kb: f64,
+    /// Buffer the I/O module must add, in KB.
+    pub buffer_kb: f64,
+    /// Resulting I/O-module area in mm².
+    pub io_area_mm2: f64,
+}
+
+/// Computes the I/O-module area needed to keep off-package bandwidth
+/// at 0.6 GB/s for a model of `model_kb`, when the compute chips
+/// together provide `chips_sram_kb` of parameter SRAM.
+///
+/// Any parameter data beyond the chips' capacity must live in the
+/// I/O-module buffer so it can be streamed to the chips over the
+/// in-package links instead of off-package.
+pub fn io_module_area(model_kb: f64, chips_sram_kb: f64) -> ChipletIoPoint {
+    let buffer_kb = (model_kb - chips_sram_kb).max(0.0);
+    ChipletIoPoint {
+        model_kb,
+        buffer_kb,
+        io_area_mm2: IO_LOGIC_AREA_MM2 + buffer_kb * SRAM_MM2_PER_KB,
+    }
+}
+
+/// Sweeps the Fig. 14(b) model-size axis (hash-table exponents), with
+/// `features × 4` bytes per entry and `levels` tables per model.
+pub fn sweep_model_sizes(
+    log2_sizes: &[u32],
+    levels: u32,
+    features: u32,
+    chips_sram_kb: f64,
+) -> Vec<ChipletIoPoint> {
+    log2_sizes
+        .iter()
+        .map(|&l| {
+            let bytes = (1u64 << l) as f64 * levels as f64 * features as f64 * 4.0;
+            io_module_area(bytes / 1024.0, chips_sram_kb)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_models_need_no_buffer() {
+        let p = io_module_area(1000.0, 2560.0);
+        assert_eq!(p.buffer_kb, 0.0);
+        assert_eq!(p.io_area_mm2, IO_LOGIC_AREA_MM2);
+    }
+
+    #[test]
+    fn area_grows_linearly_past_capacity() {
+        let a = io_module_area(3000.0, 2560.0);
+        let b = io_module_area(4000.0, 2560.0);
+        assert!(a.buffer_kb > 0.0);
+        let slope = (b.io_area_mm2 - a.io_area_mm2) / (b.model_kb - a.model_kb);
+        assert!((slope - SRAM_MM2_PER_KB).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_shows_significant_growth() {
+        // Fig. 14(b): scaling the hash table from 2^14 to 2^19
+        // multiplies the I/O module area substantially.
+        let points = sweep_model_sizes(&[14, 15, 16, 17, 18, 19], 10, 2, 2560.0);
+        assert_eq!(points.len(), 6);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert_eq!(first.buffer_kb, 0.0, "2^14 models fit on the chips");
+        assert!(
+            last.io_area_mm2 > 10.0 * first.io_area_mm2,
+            "large models inflate the I/O module: {} vs {}",
+            last.io_area_mm2,
+            first.io_area_mm2
+        );
+        // Monotone non-decreasing.
+        for w in points.windows(2) {
+            assert!(w[1].io_area_mm2 >= w[0].io_area_mm2);
+        }
+    }
+}

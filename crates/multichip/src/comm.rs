@@ -1,0 +1,133 @@
+//! Chip-to-chip communication models — the Technique T3 ablation
+//! (Fig. 12(a), ~94 % communication saving).
+//!
+//! Two ways to spread a NeRF over four chips:
+//!
+//! * **Layer-split** (the conventional mapping [12]): pipeline stages
+//!   or layers are assigned to chips, so every sample's intermediate
+//!   activations — encoded features forward, gradients backward —
+//!   cross chip boundaries.
+//! * **MoE Level-1 tiling** (this work): each chip holds a complete
+//!   expert; only the broadcast camera/ray inputs and per-chip pixel
+//!   partial sums cross chips.
+
+/// Per-frame workload statistics the communication models consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameWorkload {
+    /// Rays (pixels) in the frame or batch.
+    pub rays: u64,
+    /// Total retained sample points.
+    pub samples: u64,
+    /// Encoded feature dimension (levels × features).
+    pub feature_dim: u64,
+    /// Whether gradients also flow (training doubles activation
+    /// traffic).
+    pub training: bool,
+}
+
+/// Bytes per pixel partial sum (RGB f32) sent to the I/O module.
+const PIXEL_BYTES: u64 = 12;
+/// Bytes per ray descriptor broadcast to every chip (origin +
+/// direction, f32).
+const RAY_BYTES: u64 = 24;
+/// Bytes per feature scalar.
+const FEATURE_BYTES: u64 = 4;
+/// Bytes per sample coordinate record crossing a stage split.
+const SAMPLE_COORD_BYTES: u64 = 20;
+
+/// Chip-to-chip bytes under the conventional layer-split mapping:
+/// every sample's coordinates enter the feature chip(s) and its
+/// encoded features (and gradients, when training) cross to the MLP
+/// chip(s).
+pub fn layer_split_bytes(w: &FrameWorkload, chips: u64) -> u64 {
+    assert!(chips >= 2, "layer-split needs at least two chips");
+    let activation = w.samples * (SAMPLE_COORD_BYTES + w.feature_dim * FEATURE_BYTES);
+    let grads = if w.training { w.samples * w.feature_dim * FEATURE_BYTES } else { 0 };
+    // Each inter-chip boundary carries the full activation stream;
+    // `chips - 1` boundaries in a pipeline mapping.
+    (activation + grads) * (chips - 1)
+}
+
+/// Chip-to-chip bytes under MoE Level-1 tiling: the ray batch is
+/// broadcast to every chip, and each chip returns one pixel partial
+/// sum (plus its transmittance) per ray; training adds the broadcast
+/// pixel-gradient return path.
+pub fn moe_bytes(w: &FrameWorkload, chips: u64) -> u64 {
+    assert!(chips >= 1, "MoE needs at least one chip");
+    let broadcast = w.rays * RAY_BYTES * chips;
+    let partial_sums = w.rays * (PIXEL_BYTES + 4) * chips;
+    let grad_return = if w.training { w.rays * PIXEL_BYTES * chips } else { 0 };
+    broadcast + partial_sums + grad_return
+}
+
+/// The Fig. 12(a) ablation: fractional communication saving of MoE
+/// tiling over layer-split on the same workload.
+pub fn moe_communication_saving(w: &FrameWorkload, chips: u64) -> f64 {
+    let baseline = layer_split_bytes(w, chips);
+    let moe = moe_bytes(w, chips);
+    if baseline == 0 {
+        0.0
+    } else {
+        1.0 - moe as f64 / baseline as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A paper-scale frame: 800×800 rays, ~13 samples per ray,
+    /// 20-dimensional features.
+    fn paper_frame(training: bool) -> FrameWorkload {
+        FrameWorkload {
+            rays: 800 * 800,
+            samples: 800 * 800 * 13,
+            feature_dim: 20,
+            training,
+        }
+    }
+
+    #[test]
+    fn moe_saves_around_94_percent() {
+        for training in [false, true] {
+            let w = paper_frame(training);
+            let saving = moe_communication_saving(&w, 4);
+            assert!(
+                (0.90..=0.98).contains(&saving),
+                "saving {saving} (training={training}) outside the paper's regime"
+            );
+        }
+    }
+
+    #[test]
+    fn saving_grows_with_sample_density() {
+        let sparse = FrameWorkload { rays: 1000, samples: 3000, feature_dim: 20, training: false };
+        let dense = FrameWorkload { rays: 1000, samples: 60_000, feature_dim: 20, training: false };
+        assert!(
+            moe_communication_saving(&dense, 4) > moe_communication_saving(&sparse, 4),
+            "denser scenes amplify the activation traffic MoE avoids"
+        );
+    }
+
+    #[test]
+    fn moe_traffic_is_per_ray_not_per_sample() {
+        let few = FrameWorkload { rays: 1000, samples: 5_000, feature_dim: 20, training: false };
+        let many = FrameWorkload { rays: 1000, samples: 500_000, feature_dim: 20, training: false };
+        assert_eq!(moe_bytes(&few, 4), moe_bytes(&many, 4));
+        assert!(layer_split_bytes(&many, 4) > layer_split_bytes(&few, 4));
+    }
+
+    #[test]
+    fn training_increases_layer_split_traffic() {
+        let inf = paper_frame(false);
+        let train = paper_frame(true);
+        assert!(layer_split_bytes(&train, 4) > layer_split_bytes(&inf, 4));
+        assert!(moe_bytes(&train, 4) > moe_bytes(&inf, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two chips")]
+    fn layer_split_needs_multiple_chips() {
+        layer_split_bytes(&paper_frame(false), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Adam optimizer operating on flat parameter vectors.
+
+/// Hyper-parameters for [`Adam`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub epsilon: f32,
+    /// L2 regularization applied to the parameters (decoupled weight
+    /// decay; zero disables it).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    /// Instant-NGP's published settings (`lr = 1e-2`, `β₁ = 0.9`,
+    /// `β₂ = 0.99`, `ε = 1e-15`), which suit hash-grid training.
+    fn default() -> Self {
+        AdamConfig {
+            learning_rate: 1e-2,
+            beta1: 0.9,
+            beta2: 0.99,
+            epsilon: 1e-15,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Adam optimizer state for one flat parameter vector.
+///
+/// # Examples
+///
+/// ```
+/// use fusion3d_nerf::adam::{Adam, AdamConfig};
+///
+/// let mut params = vec![1.0f32; 4];
+/// let grads = vec![0.5f32; 4];
+/// let mut opt = Adam::new(AdamConfig::default(), params.len());
+/// opt.step(&mut params, &grads);
+/// assert!(params.iter().all(|&p| p < 1.0), "gradient descent moved params down");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates optimizer state for `param_count` parameters.
+    pub fn new(config: AdamConfig, param_count: usize) -> Self {
+        Adam {
+            config,
+            m: vec![0.0; param_count],
+            v: vec![0.0; param_count],
+            t: 0,
+        }
+    }
+
+    /// The optimizer configuration.
+    #[inline]
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+
+    /// Sets the learning rate (for schedules).
+    #[inline]
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.config.learning_rate = lr;
+    }
+
+    /// Number of steps taken so far.
+    #[inline]
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update. Entries whose gradient is exactly zero
+    /// are skipped entirely (moments untouched) — the sparse-update
+    /// rule Instant-NGP uses for hash tables, where a training batch
+    /// touches only a small fraction of the entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length from the state.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient count mismatch");
+        self.t += 1;
+        let c = self.config;
+        let bias1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - c.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            if g == 0.0 {
+                continue;
+            }
+            let g = g + c.weight_decay * params[i];
+            self.m[i] = c.beta1 * self.m[i] + (1.0 - c.beta1) * g;
+            self.v[i] = c.beta2 * self.v[i] + (1.0 - c.beta2) * g * g;
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            params[i] -= c.learning_rate * m_hat / (v_hat.sqrt() + c.epsilon);
+        }
+    }
+
+    /// Resets all moment estimates and the step counter.
+    pub fn reset(&mut self) {
+        self.m.iter_mut().for_each(|x| *x = 0.0);
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2, df/dx = 2(x - 3).
+        let mut params = vec![0.0f32];
+        let mut opt = Adam::new(
+            AdamConfig { learning_rate: 0.1, ..AdamConfig::default() },
+            1,
+        );
+        for _ in 0..500 {
+            let g = 2.0 * (params[0] - 3.0);
+            opt.step(&mut params, &[g]);
+        }
+        assert!((params[0] - 3.0).abs() < 0.05, "converged to {}", params[0]);
+    }
+
+    #[test]
+    fn zero_gradients_leave_params_untouched() {
+        let mut params = vec![1.0f32, 2.0, 3.0];
+        let mut opt = Adam::new(AdamConfig::default(), 3);
+        opt.step(&mut params, &[0.0, 1.0, 0.0]);
+        assert_eq!(params[0], 1.0);
+        assert_ne!(params[1], 2.0);
+        assert_eq!(params[2], 3.0);
+    }
+
+    #[test]
+    fn sparse_skip_preserves_moments() {
+        // A zero gradient must not decay the moments: a second update
+        // with the same gradient should act as if the zero step never
+        // happened for that entry.
+        let cfg = AdamConfig { learning_rate: 0.01, ..AdamConfig::default() };
+        let mut a = vec![1.0f32];
+        let mut ob = Adam::new(cfg, 1);
+        ob.step(&mut a, &[0.5]);
+        ob.step(&mut a, &[0.0]); // skipped
+        ob.step(&mut a, &[0.5]);
+
+        let mut b = vec![1.0f32];
+        let mut oc = Adam::new(cfg, 1);
+        oc.step(&mut b, &[0.5]);
+        oc.step(&mut b, &[0.5]);
+        // The only difference is the step counter used for bias
+        // correction, so results are close but the moment state paths
+        // match; assert agreement within a small tolerance.
+        assert!((a[0] - b[0]).abs() < 5e-3, "{} vs {}", a[0], b[0]);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let cfg = AdamConfig {
+            learning_rate: 0.05,
+            weight_decay: 0.1,
+            ..AdamConfig::default()
+        };
+        let mut params = vec![5.0f32];
+        let mut opt = Adam::new(cfg, 1);
+        for _ in 0..200 {
+            // True gradient zero; only decay acts. Pass a tiny nonzero
+            // gradient so the entry is not skipped.
+            opt.step(&mut params, &[1e-12]);
+        }
+        assert!(params[0] < 5.0);
+    }
+
+    #[test]
+    fn step_count_and_reset() {
+        let mut opt = Adam::new(AdamConfig::default(), 2);
+        let mut p = vec![1.0f32, 1.0];
+        opt.step(&mut p, &[0.1, 0.1]);
+        opt.step(&mut p, &[0.1, 0.1]);
+        assert_eq!(opt.step_count(), 2);
+        opt.reset();
+        assert_eq!(opt.step_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn rejects_mismatched_buffers() {
+        let mut opt = Adam::new(AdamConfig::default(), 2);
+        let mut p = vec![0.0f32; 3];
+        opt.step(&mut p, &[0.0; 3]);
+    }
+}

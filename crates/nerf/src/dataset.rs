@@ -1,0 +1,206 @@
+//! Posed-image datasets generated from procedural scenes.
+
+use crate::camera::{orbit_poses, Camera};
+use crate::image::Image;
+use crate::math::{Ray, Vec3};
+use crate::scenes::ProceduralScene;
+use rand::Rng;
+
+/// One training or test view: a camera and its ground-truth image.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// The capture camera.
+    pub camera: Camera,
+    /// The ground-truth image.
+    pub image: Image,
+}
+
+/// A dataset of posed images of one scene.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    views: Vec<View>,
+    background: Vec3,
+}
+
+impl Dataset {
+    /// Renders `view_count` orbit views of `scene` at the given
+    /// resolution and vertical field of view (radians).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view_count` is zero or the camera parameters are
+    /// invalid.
+    pub fn from_scene(
+        scene: &ProceduralScene,
+        view_count: usize,
+        resolution: u32,
+        fov_y: f32,
+    ) -> Self {
+        assert!(view_count > 0, "dataset needs at least one view");
+        let center = Vec3::new(0.5, 0.4, 0.5);
+        let views = orbit_poses(center, 1.25, view_count)
+            .into_iter()
+            .map(|pose| {
+                let camera = Camera::new(pose, resolution, resolution, fov_y);
+                let image = scene.render(&camera);
+                View { camera, image }
+            })
+            .collect();
+        Dataset {
+            views,
+            background: scene.background(),
+        }
+    }
+
+    /// Builds a dataset from explicit views (used in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views` is empty.
+    pub fn from_views(views: Vec<View>, background: Vec3) -> Self {
+        assert!(!views.is_empty(), "dataset needs at least one view");
+        Dataset { views, background }
+    }
+
+    /// The dataset's views.
+    #[inline]
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// The scene background color used where rays miss geometry.
+    #[inline]
+    pub fn background(&self) -> Vec3 {
+        self.background
+    }
+
+    /// Total pixel (ray) count across all views.
+    pub fn total_rays(&self) -> u64 {
+        self.views.iter().map(|v| v.camera.pixel_count()).sum()
+    }
+
+    /// Splits off every `holdout_every`-th view into a test set,
+    /// returning `(train, test)` — the standard NeRF evaluation
+    /// protocol of scoring on views the model never saw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split would leave either set empty.
+    pub fn split(self, holdout_every: usize) -> (Dataset, Dataset) {
+        assert!(holdout_every >= 2, "holdout_every must be at least 2");
+        let background = self.background;
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (i, view) in self.views.into_iter().enumerate() {
+            if i % holdout_every == 0 {
+                test.push(view);
+            } else {
+                train.push(view);
+            }
+        }
+        assert!(
+            !train.is_empty() && !test.is_empty(),
+            "split left an empty set; use more views"
+        );
+        (
+            Dataset { views: train, background },
+            Dataset { views: test, background },
+        )
+    }
+
+    /// Draws a uniformly random training ray and its target color.
+    pub fn sample_ray<R: Rng>(&self, rng: &mut R) -> (Ray, Vec3) {
+        let view = &self.views[rng.gen_range(0..self.views.len())];
+        let x = rng.gen_range(0..view.camera.width());
+        let y = rng.gen_range(0..view.camera.height());
+        (view.camera.ray_for_pixel(x, y), view.image.get(x, y))
+    }
+
+    /// Draws a batch of training rays.
+    pub fn sample_batch<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<(Ray, Vec3)> {
+        (0..count).map(|_| self.sample_ray(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::SyntheticScene;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> Dataset {
+        let scene = ProceduralScene::synthetic(SyntheticScene::Hotdog);
+        Dataset::from_scene(&scene, 3, 16, 0.8)
+    }
+
+    #[test]
+    fn from_scene_builds_requested_views() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.views().len(), 3);
+        assert_eq!(ds.total_rays(), 3 * 16 * 16);
+        assert_eq!(ds.background(), Vec3::ONE);
+        for v in ds.views() {
+            assert_eq!(v.image.width(), 16);
+            assert_eq!(v.image.height(), 16);
+        }
+    }
+
+    #[test]
+    fn views_are_distinct() {
+        let ds = tiny_dataset();
+        let a = ds.views()[0].camera.pose().position;
+        let b = ds.views()[1].camera.pose().position;
+        assert!(a.distance(b) > 0.1, "orbit poses must differ");
+    }
+
+    #[test]
+    fn sampled_rays_match_their_pixels() {
+        let ds = tiny_dataset();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..32 {
+            let (ray, target) = ds.sample_ray(&mut rng);
+            assert!((ray.direction.length() - 1.0).abs() < 1e-5);
+            assert!(target.is_finite());
+            // Target colors are valid radiance values.
+            for c in target.to_array() {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sampling_returns_requested_count() {
+        let ds = tiny_dataset();
+        let mut rng = SmallRng::seed_from_u64(10);
+        assert_eq!(ds.sample_batch(17, &mut rng).len(), 17);
+    }
+
+    #[test]
+    fn split_partitions_views() {
+        let ds = Dataset::from_scene(
+            &ProceduralScene::synthetic(SyntheticScene::Hotdog),
+            6,
+            12,
+            0.8,
+        );
+        let total = ds.views().len();
+        let (train, test) = ds.split(3);
+        assert_eq!(train.views().len() + test.views().len(), total);
+        assert_eq!(test.views().len(), 2);
+        assert_eq!(train.background(), test.background());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_split_rejected() {
+        let ds = tiny_dataset();
+        let _ = ds.split(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one view")]
+    fn empty_dataset_rejected() {
+        Dataset::from_views(Vec::new(), Vec3::ONE);
+    }
+}

@@ -1,0 +1,574 @@
+//! Multiresolution hash-grid feature encoding (Stage II of the NeRF
+//! pipeline).
+//!
+//! A [`HashGrid`] stores `L` levels of feature tables. Each level `l`
+//! covers the normalized model cube `[0,1]^3` with a virtual grid of
+//! resolution `N_l` (growing geometrically from `base_resolution` to
+//! `max_resolution`) and stores `F` features per vertex in a table of
+//! `2^log2_table_size` entries. Querying a point gathers the eight
+//! surrounding vertices on every level, trilinearly interpolates their
+//! features, and concatenates the per-level results.
+//!
+//! The forward pass (inference) *aggregates* features; the backward
+//! pass (training) *distributes* gradients back onto the same eight
+//! vertices — the symmetric workload pair that motivates the paper's
+//! shared reconfigurable interpolation array (Technique T2-1).
+
+use crate::hash::{cell_corners, vertex_address, GridVertex};
+use crate::math::Vec3;
+use rand::Rng;
+
+/// A spatial feature encoding: a learnable map from points in the
+/// normalized model cube to feature vectors, with an explicit backward
+/// pass.
+///
+/// The crate ships two implementations: the multiresolution
+/// [`HashGrid`] (Instant-NGP, the paper's primary target) and the
+/// dense voxel grid of [`crate::dense_grid::DenseGrid`]
+/// (TensoRF/RT-NeRF-class). [`crate::model::NerfModel`] is generic
+/// over this trait, which is what lets the paper's modules transfer
+/// across NeRF pipelines (Sec. VI-C).
+pub trait Encoding: std::fmt::Debug {
+    /// Dimension of the encoded feature vector.
+    fn output_dim(&self) -> usize;
+
+    /// Encodes point `p` into `out` (length [`Encoding::output_dim`]).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `out` has the wrong length.
+    fn interpolate(&self, p: Vec3, out: &mut [f32]);
+
+    /// Scatters `d_out` (gradient w.r.t. the encoded features) into
+    /// `grads` (length [`Encoding::param_count`]).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on buffer size mismatches.
+    fn backward(&self, p: Vec3, d_out: &[f32], grads: &mut [f32]);
+
+    /// Number of learnable parameters.
+    fn param_count(&self) -> usize;
+
+    /// Immutable view of the parameters.
+    fn params(&self) -> &[f32];
+
+    /// Mutable view of the parameters.
+    fn params_mut(&mut self) -> &mut [f32];
+}
+
+/// Configuration of a multiresolution hash grid.
+///
+/// # Examples
+///
+/// ```
+/// use fusion3d_nerf::encoding::HashGridConfig;
+///
+/// let cfg = HashGridConfig::default();
+/// assert_eq!(cfg.output_dim(), cfg.levels * cfg.features_per_level);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HashGridConfig {
+    /// Number of resolution levels `L`.
+    pub levels: usize,
+    /// Features stored per vertex `F`.
+    pub features_per_level: usize,
+    /// Table size exponent: each level holds `2^log2_table_size`
+    /// feature vectors.
+    pub log2_table_size: u32,
+    /// Coarsest virtual grid resolution `N_min`.
+    pub base_resolution: u32,
+    /// Finest virtual grid resolution `N_max`.
+    pub max_resolution: u32,
+}
+
+impl Default for HashGridConfig {
+    /// A mid-size configuration suitable for fast tests and examples:
+    /// 8 levels × 2 features, `2^14` entries per level, resolutions
+    /// 16 → 256. The paper's chip stores `2 × 5 × 64 KB` of hash SRAM,
+    /// matching 2-feature tables at `2^14`–`2^15` entries per level.
+    fn default() -> Self {
+        HashGridConfig {
+            levels: 8,
+            features_per_level: 2,
+            log2_table_size: 14,
+            base_resolution: 16,
+            max_resolution: 256,
+        }
+    }
+}
+
+impl HashGridConfig {
+    /// Output feature dimension `L * F`.
+    #[inline]
+    pub const fn output_dim(&self) -> usize {
+        self.levels * self.features_per_level
+    }
+
+    /// Entries per level table.
+    #[inline]
+    pub const fn table_size(&self) -> usize {
+        1usize << self.log2_table_size
+    }
+
+    /// Total number of learnable parameters.
+    #[inline]
+    pub const fn param_count(&self) -> usize {
+        self.levels * self.table_size() * self.features_per_level
+    }
+
+    /// Total parameter storage in bytes at `f32` precision. Drives the
+    /// model-size axis of Fig. 13(b) and Fig. 14(b).
+    #[inline]
+    pub const fn param_bytes(&self) -> usize {
+        self.param_count() * core::mem::size_of::<f32>()
+    }
+
+    /// The virtual grid resolution of level `l`, growing geometrically
+    /// between `base_resolution` and `max_resolution` as in
+    /// Instant-NGP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels`.
+    pub fn level_resolution(&self, level: usize) -> u32 {
+        assert!(level < self.levels, "level {level} out of range");
+        if self.levels == 1 {
+            return self.base_resolution;
+        }
+        let b = (self.max_resolution as f64 / self.base_resolution as f64)
+            .powf(1.0 / (self.levels as f64 - 1.0));
+        (self.base_resolution as f64 * b.powi(level as i32)).round() as u32
+    }
+
+    /// Validates the configuration, returning a description of the
+    /// first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when any dimension is zero, the resolution range
+    /// is inverted, or the table exponent exceeds 31.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels == 0 {
+            return Err("levels must be at least 1".into());
+        }
+        if self.features_per_level == 0 {
+            return Err("features_per_level must be at least 1".into());
+        }
+        if self.log2_table_size == 0 || self.log2_table_size > 31 {
+            return Err(format!(
+                "log2_table_size must be in 1..=31, got {}",
+                self.log2_table_size
+            ));
+        }
+        if self.base_resolution == 0 {
+            return Err("base_resolution must be at least 1".into());
+        }
+        if self.max_resolution < self.base_resolution {
+            return Err(format!(
+                "max_resolution ({}) must be >= base_resolution ({})",
+                self.max_resolution, self.base_resolution
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One feature-table access performed while encoding a point, captured
+/// for the memory-subsystem simulator (bank conflicts, Level-2/3
+/// tiling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FeatureAccess {
+    /// Grid level of the access.
+    pub level: u8,
+    /// Corner index 0..8 (bit 0 = X offset, bit 1 = Y, bit 2 = Z).
+    pub corner: u8,
+    /// Table address within the level.
+    pub address: u32,
+}
+
+/// A trained or trainable multiresolution hash grid.
+///
+/// Parameters are stored level-major: level `l`'s table occupies
+/// `params[l * T * F .. (l + 1) * T * F]` with `F` contiguous features
+/// per vertex.
+#[derive(Debug, Clone)]
+pub struct HashGrid {
+    config: HashGridConfig,
+    resolutions: Vec<u32>,
+    params: Vec<f32>,
+}
+
+impl HashGrid {
+    /// Creates a grid with all features initialized to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`HashGridConfig::validate`].
+    pub fn new(config: HashGridConfig) -> Self {
+        config.validate().expect("invalid hash grid config");
+        let resolutions = (0..config.levels).map(|l| config.level_resolution(l)).collect();
+        HashGrid {
+            config,
+            resolutions,
+            params: vec![0.0; config.param_count()],
+        }
+    }
+
+    /// Creates a grid with features drawn uniformly from
+    /// `[-1e-4, 1e-4]`, the Instant-NGP initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`HashGridConfig::validate`].
+    pub fn with_random_init<R: Rng>(config: HashGridConfig, rng: &mut R) -> Self {
+        let mut grid = HashGrid::new(config);
+        for p in grid.params.iter_mut() {
+            *p = rng.gen_range(-1e-4..1e-4);
+        }
+        grid
+    }
+
+    /// The grid's configuration.
+    #[inline]
+    pub fn config(&self) -> &HashGridConfig {
+        &self.config
+    }
+
+    /// The virtual resolution of each level.
+    #[inline]
+    pub fn resolutions(&self) -> &[u32] {
+        &self.resolutions
+    }
+
+    /// Immutable view of the parameter vector.
+    #[inline]
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Mutable view of the parameter vector (used by the optimizer).
+    #[inline]
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    /// Number of learnable parameters.
+    #[inline]
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    #[inline]
+    fn level_offset(&self, level: usize) -> usize {
+        level * self.config.table_size() * self.config.features_per_level
+    }
+
+    /// Computes the cell base vertex and trilinear weights of `p` on
+    /// `level`. `p` is clamped into `[0,1]^3`.
+    fn locate(&self, level: usize, p: Vec3) -> (GridVertex, Vec3) {
+        let res = self.resolutions[level] as f32;
+        let q = p.clamp(0.0, 1.0) * res;
+        // Clamp the base so that base+1 stays within the virtual grid.
+        let max_base = self.resolutions[level].saturating_sub(1);
+        let bx = (q.x.floor() as u32).min(max_base);
+        let by = (q.y.floor() as u32).min(max_base);
+        let bz = (q.z.floor() as u32).min(max_base);
+        let frac = Vec3::new(q.x - bx as f32, q.y - by as f32, q.z - bz as f32).clamp(0.0, 1.0);
+        ([bx, by, bz], frac)
+    }
+
+    /// The trilinear weight of corner `i` for fractional position `w`.
+    #[inline]
+    fn corner_weight(frac: Vec3, i: usize) -> f32 {
+        let wx = if i & 1 == 0 { 1.0 - frac.x } else { frac.x };
+        let wy = if i & 2 == 0 { 1.0 - frac.y } else { frac.y };
+        let wz = if i & 4 == 0 { 1.0 - frac.z } else { frac.z };
+        wx * wy * wz
+    }
+
+    /// Encodes point `p` (normalized coordinates) into `out`, which
+    /// must have length [`HashGridConfig::output_dim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.config().output_dim()`.
+    pub fn interpolate(&self, p: Vec3, out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.output_dim(), "output buffer size mismatch");
+        let f = self.config.features_per_level;
+        for level in 0..self.config.levels {
+            let (base, frac) = self.locate(level, p);
+            let corners = cell_corners(base);
+            let level_out = &mut out[level * f..(level + 1) * f];
+            level_out.fill(0.0);
+            let offset = self.level_offset(level);
+            for (i, &corner) in corners.iter().enumerate() {
+                let w = Self::corner_weight(frac, i);
+                let addr = vertex_address(
+                    corner,
+                    self.resolutions[level],
+                    self.config.log2_table_size,
+                ) as usize;
+                let slot = offset + addr * f;
+                for (o, &v) in level_out.iter_mut().zip(&self.params[slot..slot + f]) {
+                    *o += w * v;
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper allocating the output vector.
+    pub fn encode(&self, p: Vec3) -> Vec<f32> {
+        let mut out = vec![0.0; self.config.output_dim()];
+        self.interpolate(p, &mut out);
+        out
+    }
+
+    /// Backward pass: scatters `d_out` (gradient w.r.t. the encoded
+    /// features, length `output_dim`) into `grads` (gradient buffer of
+    /// length [`HashGrid::param_count`]) using the same trilinear
+    /// weights as the forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer size mismatches.
+    pub fn backward(&self, p: Vec3, d_out: &[f32], grads: &mut [f32]) {
+        assert_eq!(d_out.len(), self.config.output_dim(), "gradient buffer size mismatch");
+        assert_eq!(grads.len(), self.params.len(), "parameter gradient size mismatch");
+        let f = self.config.features_per_level;
+        for level in 0..self.config.levels {
+            let (base, frac) = self.locate(level, p);
+            let corners = cell_corners(base);
+            let d_level = &d_out[level * f..(level + 1) * f];
+            let offset = self.level_offset(level);
+            for (i, &corner) in corners.iter().enumerate() {
+                let w = Self::corner_weight(frac, i);
+                let addr = vertex_address(
+                    corner,
+                    self.resolutions[level],
+                    self.config.log2_table_size,
+                ) as usize;
+                let slot = offset + addr * f;
+                for (g, &d) in grads[slot..slot + f].iter_mut().zip(d_level) {
+                    *g += w * d;
+                }
+            }
+        }
+    }
+
+    /// Records the table accesses the encoding of `p` performs, for
+    /// the memory-subsystem simulator. Appends `8 * levels` entries to
+    /// `trace`.
+    pub fn record_accesses(&self, p: Vec3, trace: &mut Vec<FeatureAccess>) {
+        for level in 0..self.config.levels {
+            let (base, _) = self.locate(level, p);
+            for (i, &corner) in cell_corners(base).iter().enumerate() {
+                trace.push(FeatureAccess {
+                    level: level as u8,
+                    corner: i as u8,
+                    address: vertex_address(
+                        corner,
+                        self.resolutions[level],
+                        self.config.log2_table_size,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+impl Encoding for HashGrid {
+    fn output_dim(&self) -> usize {
+        self.config.output_dim()
+    }
+
+    fn interpolate(&self, p: Vec3, out: &mut [f32]) {
+        HashGrid::interpolate(self, p, out);
+    }
+
+    fn backward(&self, p: Vec3, d_out: &[f32], grads: &mut [f32]) {
+        HashGrid::backward(self, p, d_out, grads);
+    }
+
+    fn param_count(&self) -> usize {
+        HashGrid::param_count(self)
+    }
+
+    fn params(&self) -> &[f32] {
+        HashGrid::params(self)
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        HashGrid::params_mut(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> HashGridConfig {
+        HashGridConfig {
+            levels: 4,
+            features_per_level: 2,
+            log2_table_size: 10,
+            base_resolution: 4,
+            max_resolution: 32,
+        }
+    }
+
+    #[test]
+    fn config_dimensions() {
+        let cfg = small_config();
+        assert_eq!(cfg.output_dim(), 8);
+        assert_eq!(cfg.table_size(), 1024);
+        assert_eq!(cfg.param_count(), 4 * 1024 * 2);
+        assert_eq!(cfg.param_bytes(), cfg.param_count() * 4);
+    }
+
+    #[test]
+    fn resolutions_grow_geometrically() {
+        let cfg = small_config();
+        let rs: Vec<u32> = (0..cfg.levels).map(|l| cfg.level_resolution(l)).collect();
+        assert_eq!(rs.first(), Some(&4));
+        assert_eq!(rs.last(), Some(&32));
+        for w in rs.windows(2) {
+            assert!(w[1] > w[0], "resolutions must strictly increase: {rs:?}");
+        }
+    }
+
+    #[test]
+    fn single_level_resolution() {
+        let cfg = HashGridConfig { levels: 1, ..small_config() };
+        assert_eq!(cfg.level_resolution(0), cfg.base_resolution);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(HashGridConfig { levels: 0, ..small_config() }.validate().is_err());
+        assert!(HashGridConfig { features_per_level: 0, ..small_config() }
+            .validate()
+            .is_err());
+        assert!(HashGridConfig { log2_table_size: 0, ..small_config() }
+            .validate()
+            .is_err());
+        assert!(HashGridConfig { log2_table_size: 40, ..small_config() }
+            .validate()
+            .is_err());
+        assert!(HashGridConfig { base_resolution: 0, ..small_config() }
+            .validate()
+            .is_err());
+        assert!(HashGridConfig { max_resolution: 2, ..small_config() }
+            .validate()
+            .is_err());
+        assert!(small_config().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_grid_encodes_to_zero() {
+        let grid = HashGrid::new(small_config());
+        let out = grid.encode(Vec3::splat(0.3));
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn constant_table_interpolates_to_constant() {
+        // If every vertex stores the same value, trilinear
+        // interpolation must return exactly that value (weights sum
+        // to 1).
+        let mut grid = HashGrid::new(small_config());
+        for p in grid.params_mut() {
+            *p = 0.75;
+        }
+        for p in [Vec3::splat(0.1), Vec3::splat(0.5), Vec3::new(0.9, 0.2, 0.7)] {
+            let out = grid.encode(p);
+            for v in out {
+                assert!((v - 0.75).abs() < 1e-5, "expected 0.75, got {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_is_continuous_across_cell_boundaries() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let grid = HashGrid::with_random_init(small_config(), &mut rng);
+        // Query two points straddling a cell boundary on the coarsest
+        // level; the encoded features must be close.
+        let eps = 1e-5;
+        let a = grid.encode(Vec3::new(0.25 - eps, 0.4, 0.4));
+        let b = grid.encode(Vec3::new(0.25 + eps, 0.4, 0.4));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3, "discontinuity: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_points_are_clamped() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let grid = HashGrid::with_random_init(small_config(), &mut rng);
+        let inside = grid.encode(Vec3::new(0.0, 1.0, 0.5));
+        let outside = grid.encode(Vec3::new(-2.0, 5.0, 0.5));
+        assert_eq!(inside, outside);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut grid = HashGrid::with_random_init(small_config(), &mut rng);
+        let p = Vec3::new(0.31, 0.62, 0.18);
+        let dim = grid.config().output_dim();
+        // Loss = sum of outputs; dL/dout = ones.
+        let d_out = vec![1.0f32; dim];
+        let mut grads = vec![0.0f32; grid.param_count()];
+        grid.backward(p, &d_out, &mut grads);
+
+        // Check a handful of parameters with central differences.
+        let mut checked = 0;
+        let candidates: Vec<usize> =
+            grads.iter().enumerate().filter(|(_, g)| g.abs() > 1e-4).map(|(i, _)| i).collect();
+        for &i in candidates.iter().take(16) {
+            let h = 1e-3f32;
+            let orig = grid.params()[i];
+            grid.params_mut()[i] = orig + h;
+            let up: f32 = grid.encode(p).iter().sum();
+            grid.params_mut()[i] = orig - h;
+            let down: f32 = grid.encode(p).iter().sum();
+            grid.params_mut()[i] = orig;
+            let fd = (up - down) / (2.0 * h);
+            assert!(
+                (fd - grads[i]).abs() < 1e-3,
+                "param {i}: finite diff {fd} vs analytic {}",
+                grads[i]
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "no nonzero gradients found");
+    }
+
+    #[test]
+    fn access_trace_has_expected_shape() {
+        let grid = HashGrid::new(small_config());
+        let mut trace = Vec::new();
+        grid.record_accesses(Vec3::splat(0.4), &mut trace);
+        assert_eq!(trace.len(), 8 * grid.config().levels);
+        for a in &trace {
+            assert!((a.level as usize) < grid.config().levels);
+            assert!(a.corner < 8);
+            assert!((a.address as usize) < grid.config().table_size().max(
+                (grid.resolutions()[a.level as usize] as usize + 1).pow(3)
+            ));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer size mismatch")]
+    fn interpolate_rejects_wrong_buffer() {
+        let grid = HashGrid::new(small_config());
+        let mut out = vec![0.0; 3];
+        grid.interpolate(Vec3::ZERO, &mut out);
+    }
+}

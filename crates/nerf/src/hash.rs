@@ -1,0 +1,265 @@
+//! The multiresolution grid's spatial hash function.
+//!
+//! This is the hash of Instant-NGP (Müller et al. 2022): the vertex
+//! coordinate components are multiplied by per-dimension constants and
+//! XOR-ed together, then masked down to the table size (a power of
+//! two). Two structural properties of this function are load-bearing
+//! for the paper's Technique T4 (*Two-Level Hash Tiling*):
+//!
+//! 1. **YZ spread** — the Y and Z dimensions use large odd constants,
+//!    so vertices that differ in their Y/Z offset land far apart in the
+//!    table (on average about a quarter of the table apart). Level-2
+//!    tiling exploits this by giving each of the four YZ-offset groups
+//!    its own SRAM group.
+//! 2. **X parity alternation** — the X dimension uses the constant 1,
+//!    so two vertices that differ by exactly one unit in X always hash
+//!    to addresses of opposite parity. Level-3 tiling exploits this by
+//!    splitting each SRAM group into an even bank and an odd bank.
+//!
+//! Both properties are verified by unit and property-based tests in
+//! this module and consumed by `fusion3d-mem`'s tiling model.
+
+/// Per-dimension hash constants `[π₁, π₂, π₃]` from Instant-NGP.
+///
+/// `π₁ = 1` (identity on X), `π₂` and `π₃` are large odd primes
+/// applied to Y and Z.
+pub const HASH_PRIMES: [u32; 3] = [1, 2_654_435_761, 805_459_861];
+
+/// A vertex coordinate on one level of the multiresolution grid.
+pub type GridVertex = [u32; 3];
+
+/// Computes the spatial hash of a grid vertex into a table of
+/// `1 << log2_table_size` entries.
+///
+/// # Panics
+///
+/// Panics in debug builds if `log2_table_size > 31`.
+///
+/// # Examples
+///
+/// ```
+/// use fusion3d_nerf::hash::spatial_hash;
+///
+/// let a = spatial_hash([3, 7, 9], 14);
+/// let b = spatial_hash([4, 7, 9], 14); // one unit along X
+/// assert_ne!(a & 1, b & 1, "X neighbours always differ in parity");
+/// ```
+#[inline]
+pub fn spatial_hash(v: GridVertex, log2_table_size: u32) -> u32 {
+    debug_assert!(log2_table_size <= 31, "table size exponent too large");
+    let h = v[0]
+        .wrapping_mul(HASH_PRIMES[0])
+        ^ v[1].wrapping_mul(HASH_PRIMES[1])
+        ^ v[2].wrapping_mul(HASH_PRIMES[2]);
+    h & ((1u32 << log2_table_size) - 1)
+}
+
+/// Computes the dense (collision-free) index of a vertex on a level
+/// whose full grid fits in the table, i.e. `(resolution + 1)^3 <=
+/// table size`. Instant-NGP addresses coarse levels densely and only
+/// hashes the fine levels.
+///
+/// The layout is X-major: `x + (res+1) * (y + (res+1) * z)`.
+#[inline]
+pub fn dense_index(v: GridVertex, resolution: u32) -> u32 {
+    let stride = resolution + 1;
+    v[0] + stride * (v[1] + stride * v[2])
+}
+
+/// Whether a level of the given resolution can be addressed densely
+/// within a table of `1 << log2_table_size` entries.
+#[inline]
+pub fn level_is_dense(resolution: u32, log2_table_size: u32) -> bool {
+    let stride = (resolution + 1) as u64;
+    stride * stride * stride <= 1u64 << log2_table_size
+}
+
+/// Addresses a vertex on a level: densely when the level fits,
+/// hashed otherwise. This mirrors Instant-NGP's per-level addressing
+/// and is the function whose access pattern the memory subsystem
+/// simulates.
+#[inline]
+pub fn vertex_address(v: GridVertex, resolution: u32, log2_table_size: u32) -> u32 {
+    if level_is_dense(resolution, log2_table_size) {
+        dense_index(v, resolution)
+    } else {
+        spatial_hash(v, log2_table_size)
+    }
+}
+
+/// The eight corner vertices of the grid cell containing a point, in
+/// offset order: bit 0 = +1 in X, bit 1 = +1 in Y, bit 2 = +1 in Z.
+///
+/// This ordering matters to the memory subsystem: corners `i` and
+/// `i ^ 1` form an X-parity pair (Level-3 tiling), and the two-bit
+/// value `i >> 1` is the YZ-offset group (Level-2 tiling).
+#[inline]
+pub fn cell_corners(base: GridVertex) -> [GridVertex; 8] {
+    let mut out = [base; 8];
+    for (i, c) in out.iter_mut().enumerate() {
+        c[0] = base[0] + (i as u32 & 1);
+        c[1] = base[1] + ((i as u32 >> 1) & 1);
+        c[2] = base[2] + ((i as u32 >> 2) & 1);
+    }
+    out
+}
+
+/// The YZ-offset group (0..4) of corner `i` of a cell: the two-bit
+/// value formed by the Y and Z offset bits. Level-2 tiling assigns
+/// each group a dedicated SRAM group.
+#[inline]
+pub const fn yz_group(corner_index: usize) -> usize {
+    (corner_index >> 1) & 0b11
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hash_is_deterministic_and_masked() {
+        let v = [12, 34, 56];
+        assert_eq!(spatial_hash(v, 10), spatial_hash(v, 10));
+        assert!(spatial_hash(v, 10) < 1 << 10);
+        assert!(spatial_hash(v, 4) < 1 << 4);
+    }
+
+    #[test]
+    fn x_neighbours_have_opposite_parity() {
+        // The property Level-3 tiling relies on: +1 in X flips the
+        // address parity (π₁ = 1 and π₂, π₃ are odd, so bit 0 of the
+        // hash is bit 0 of x XOR parity terms that do not change).
+        for x in 0..50u32 {
+            for y in [0u32, 3, 17, 255] {
+                for z in [0u32, 5, 19, 511] {
+                    let a = spatial_hash([x, y, z], 14);
+                    let b = spatial_hash([x + 1, y, z], 14);
+                    assert_ne!(a & 1, b & 1, "parity must flip at ({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_index_is_bijective_on_small_grid() {
+        let res = 7;
+        let mut seen = std::collections::HashSet::new();
+        for z in 0..=res {
+            for y in 0..=res {
+                for x in 0..=res {
+                    assert!(seen.insert(dense_index([x, y, z], res)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8 * 8 * 8);
+        assert_eq!(*seen.iter().max().unwrap(), 8 * 8 * 8 - 1);
+    }
+
+    #[test]
+    fn density_threshold_matches_table_capacity() {
+        assert!(level_is_dense(15, 12)); // 16^3 = 4096 = 2^12
+        assert!(!level_is_dense(16, 12)); // 17^3 > 4096
+        assert!(level_is_dense(255, 24)); // 256^3 = 2^24
+    }
+
+    #[test]
+    fn vertex_address_switches_modes() {
+        // Dense level: address equals dense index.
+        assert_eq!(vertex_address([1, 2, 3], 15, 12), dense_index([1, 2, 3], 15));
+        // Hashed level: address equals the spatial hash.
+        assert_eq!(
+            vertex_address([1, 2, 3], 1024, 12),
+            spatial_hash([1, 2, 3], 12)
+        );
+    }
+
+    #[test]
+    fn corner_enumeration_order() {
+        let corners = cell_corners([10, 20, 30]);
+        assert_eq!(corners[0], [10, 20, 30]);
+        assert_eq!(corners[1], [11, 20, 30]);
+        assert_eq!(corners[2], [10, 21, 30]);
+        assert_eq!(corners[4], [10, 20, 31]);
+        assert_eq!(corners[7], [11, 21, 31]);
+        // Corner pairs (2k, 2k+1) differ only in X.
+        for k in 0..4 {
+            let a = corners[2 * k];
+            let b = corners[2 * k + 1];
+            assert_eq!(a[1], b[1]);
+            assert_eq!(a[2], b[2]);
+            assert_eq!(b[0], a[0] + 1);
+        }
+    }
+
+    #[test]
+    fn yz_groups_partition_corners() {
+        let groups: Vec<usize> = (0..8).map(yz_group).collect();
+        assert_eq!(groups, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn yz_offset_spreads_addresses() {
+        // The average distance between addresses of vertices differing
+        // in YZ offset should be a large fraction of the table —
+        // roughly a quarter per the paper. We verify it is at least
+        // 1/8 of the table on average over many cells.
+        let log2 = 14u32;
+        let table = 1u64 << log2;
+        let mut total: u64 = 0;
+        let mut count: u64 = 0;
+        for seed in 0..200u32 {
+            let base = [seed * 37 + 1, seed * 91 + 5, seed * 53 + 11];
+            let addrs: Vec<u32> = cell_corners(base)
+                .iter()
+                .map(|&c| spatial_hash(c, log2))
+                .collect();
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    if yz_group(i) != yz_group(j) {
+                        let d = (addrs[i] as i64 - addrs[j] as i64).unsigned_abs();
+                        total += d.min(table - d);
+                        count += 1;
+                    }
+                }
+            }
+        }
+        let avg = total as f64 / count as f64;
+        assert!(
+            avg > table as f64 / 8.0,
+            "YZ-offset spread too small: {avg} of {table}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hash_in_range(x in 0u32..1_000_000, y in 0u32..1_000_000,
+                              z in 0u32..1_000_000, log2 in 1u32..24) {
+            prop_assert!(spatial_hash([x, y, z], log2) < 1u32 << log2);
+        }
+
+        #[test]
+        fn prop_x_parity_flips(x in 0u32..u32::MAX - 1, y: u32, z: u32) {
+            let a = spatial_hash([x, y, z], 16);
+            let b = spatial_hash([x + 1, y, z], 16);
+            prop_assert_ne!(a & 1, b & 1);
+        }
+
+        #[test]
+        fn prop_dense_index_within_capacity(x in 0u32..=32, y in 0u32..=32,
+                                            z in 0u32..=32) {
+            let res = 32;
+            let idx = dense_index([x, y, z], res);
+            prop_assert!(idx < (res + 1).pow(3));
+        }
+
+        #[test]
+        fn prop_corners_contain_base_and_opposite(bx in 0u32..1000,
+                                                  by in 0u32..1000,
+                                                  bz in 0u32..1000) {
+            let c = cell_corners([bx, by, bz]);
+            prop_assert_eq!(c[0], [bx, by, bz]);
+            prop_assert_eq!(c[7], [bx + 1, by + 1, bz + 1]);
+        }
+    }
+}

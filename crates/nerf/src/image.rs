@@ -1,0 +1,383 @@
+//! RGB image buffers and the PSNR quality metric used as the paper's
+//! unified evaluation standard (25 PSNR for training, 30 for
+//! inference).
+
+use crate::math::Vec3;
+use std::fmt;
+
+/// An RGB image with `f32` radiance values in `[0, 1]`.
+///
+/// Pixels are stored row-major, `(0, 0)` at the top-left.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    pixels: Vec<Vec3>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            pixels: vec![Vec3::ZERO; (width * height) as usize],
+        }
+    }
+
+    /// Creates an image filled with `color`.
+    pub fn filled(width: u32, height: u32, color: Vec3) -> Self {
+        let mut img = Image::new(width, height);
+        img.pixels.fill(color);
+        img
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of pixels.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Flat pixel storage, row-major.
+    #[inline]
+    pub fn pixels(&self) -> &[Vec3] {
+        &self.pixels
+    }
+
+    /// Mutable flat pixel storage.
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [Vec3] {
+        &mut self.pixels
+    }
+
+    #[inline]
+    fn index(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height, "pixel out of range");
+        (y * self.width + x) as usize
+    }
+
+    /// Reads pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when out of range.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Vec3 {
+        self.pixels[self.index(x, y)]
+    }
+
+    /// Writes pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when out of range.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, color: Vec3) {
+        let i = self.index(x, y);
+        self.pixels[i] = color;
+    }
+
+    /// Mean squared error against another image of the same size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn mse(&self, other: &Image) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image dimensions differ"
+        );
+        let sum: f64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| {
+                let d = *a - *b;
+                (d.x as f64).powi(2) + (d.y as f64).powi(2) + (d.z as f64).powi(2)
+            })
+            .sum();
+        sum / (self.pixels.len() as f64 * 3.0)
+    }
+
+    /// Peak signal-to-noise ratio in dB against a reference image,
+    /// assuming a peak value of 1.0. Identical images yield
+    /// `f64::INFINITY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn psnr(&self, reference: &Image) -> f64 {
+        let mse = self.mse(reference);
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            -10.0 * mse.log10()
+        }
+    }
+
+    /// Serializes to a binary PPM (P6) byte vector, for dumping debug
+    /// renders. Values are clamped to `[0, 1]` and quantized to 8 bits.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for p in &self.pixels {
+            let c = p.clamp(0.0, 1.0);
+            out.push((c.x * 255.0).round() as u8);
+            out.push((c.y * 255.0).round() as u8);
+            out.push((c.z * 255.0).round() as u8);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Image({}x{})", self.width, self.height)
+    }
+}
+
+/// Computes PSNR between two raw pixel slices (peak 1.0), used where
+/// full [`Image`] buffers are unnecessary.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn psnr_slices(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pixel slices differ in length");
+    assert!(!a.is_empty(), "cannot compute PSNR of empty slices");
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = *x - *y;
+            (d.x as f64).powi(2) + (d.y as f64).powi(2) + (d.z as f64).powi(2)
+        })
+        .sum();
+    let mse = sum / (a.len() as f64 * 3.0);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * mse.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.pixel_count(), 12);
+        assert_eq!(img.get(2, 1), Vec3::ZERO);
+        img.set(2, 1, Vec3::ONE);
+        assert_eq!(img.get(2, 1), Vec3::ONE);
+        assert_eq!(img.pixels()[6], Vec3::ONE);
+    }
+
+    #[test]
+    fn filled_image() {
+        let img = Image::filled(2, 2, Vec3::splat(0.5));
+        assert!(img.pixels().iter().all(|&p| p == Vec3::splat(0.5)));
+    }
+
+    #[test]
+    fn mse_of_identical_images_is_zero() {
+        let img = Image::filled(8, 8, Vec3::new(0.1, 0.2, 0.3));
+        assert_eq!(img.mse(&img), 0.0);
+        assert_eq!(img.psnr(&img), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // Constant offset of 0.1 in every channel: MSE = 0.01,
+        // PSNR = -10 log10(0.01) = 20 dB.
+        let a = Image::filled(16, 16, Vec3::splat(0.5));
+        let b = Image::filled(16, 16, Vec3::splat(0.6));
+        assert!((a.psnr(&b) - 20.0).abs() < 1e-4);
+        // PSNR is symmetric.
+        assert_eq!(a.psnr(&b), b.psnr(&a));
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let reference = Image::filled(8, 8, Vec3::splat(0.5));
+        let close = Image::filled(8, 8, Vec3::splat(0.52));
+        let far = Image::filled(8, 8, Vec3::splat(0.8));
+        assert!(close.psnr(&reference) > far.psnr(&reference));
+    }
+
+    #[test]
+    fn slice_psnr_matches_image_psnr() {
+        let a = Image::filled(4, 4, Vec3::splat(0.2));
+        let b = Image::filled(4, 4, Vec3::splat(0.4));
+        assert!((psnr_slices(a.pixels(), b.pixels()) - a.psnr(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn mse_rejects_mismatched_images() {
+        let a = Image::new(4, 4);
+        let b = Image::new(4, 5);
+        let _ = a.mse(&b);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::filled(3, 2, Vec3::ONE);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n3 2\n255\n".len() + 3 * 2 * 3);
+        // Fully white image: all payload bytes 255.
+        assert!(ppm[b"P6\n3 2\n255\n".len()..].iter().all(|&b| b == 255));
+    }
+}
+
+/// Computes the mean structural similarity (SSIM) between two images
+/// over their luma channels, using the standard 8×8 windows with
+/// stride 4 and the usual stabilization constants (`K1 = 0.01`,
+/// `K2 = 0.03`, peak 1.0).
+///
+/// SSIM complements PSNR in NeRF evaluations: it is sensitive to
+/// structural blur that a per-pixel metric underweights. Returns a
+/// value in `[-1, 1]`, 1.0 for identical images.
+///
+/// # Panics
+///
+/// Panics if the images differ in size or are smaller than one 8×8
+/// window.
+pub fn ssim(a: &Image, b: &Image) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "image dimensions differ"
+    );
+    const WIN: u32 = 8;
+    const STRIDE: u32 = 4;
+    assert!(
+        a.width() >= WIN && a.height() >= WIN,
+        "images must be at least {WIN}x{WIN}"
+    );
+    let luma = |img: &Image, x: u32, y: u32| -> f64 {
+        let p = img.get(x, y);
+        0.2126 * p.x as f64 + 0.7152 * p.y as f64 + 0.0722 * p.z as f64
+    };
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+    let mut total = 0.0;
+    let mut windows = 0u64;
+    let mut wy = 0;
+    while wy + WIN <= a.height() {
+        let mut wx = 0;
+        while wx + WIN <= a.width() {
+            let (mut ma, mut mb) = (0.0, 0.0);
+            for y in wy..wy + WIN {
+                for x in wx..wx + WIN {
+                    ma += luma(a, x, y);
+                    mb += luma(b, x, y);
+                }
+            }
+            let n = (WIN * WIN) as f64;
+            ma /= n;
+            mb /= n;
+            let (mut va, mut vb, mut cov) = (0.0, 0.0, 0.0);
+            for y in wy..wy + WIN {
+                for x in wx..wx + WIN {
+                    let da = luma(a, x, y) - ma;
+                    let db = luma(b, x, y) - mb;
+                    va += da * da;
+                    vb += db * db;
+                    cov += da * db;
+                }
+            }
+            va /= n - 1.0;
+            vb /= n - 1.0;
+            cov /= n - 1.0;
+            total += ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            windows += 1;
+            wx += STRIDE;
+        }
+        wy += STRIDE;
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod ssim_tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = Image::filled(16, 16, Vec3::new(0.3, 0.5, 0.7));
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structured_noise_scores_below_brightness_shift() {
+        // A small uniform brightness shift preserves structure; a
+        // checkerboard corruption of the same energy destroys it.
+        let mut base = Image::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = (x as f32 / 15.0) * 0.5 + (y as f32 / 15.0) * 0.3;
+                base.set(x, y, Vec3::splat(v));
+            }
+        }
+        let mut shifted = base.clone();
+        for p in shifted.pixels_mut() {
+            *p += Vec3::splat(0.05);
+        }
+        let mut checkered = base.clone();
+        for y in 0..16 {
+            for x in 0..16 {
+                let sign = if (x + y) % 2 == 0 { 0.05 } else { -0.05 };
+                let p = checkered.get(x, y) + Vec3::splat(sign);
+                checkered.set(x, y, p);
+            }
+        }
+        let s_shift = ssim(&base, &shifted);
+        let s_check = ssim(&base, &checkered);
+        assert!(s_shift > s_check, "shift {s_shift} vs checker {s_check}");
+        assert!(s_check < 0.9);
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let mut a = Image::new(12, 12);
+        let mut b = Image::new(12, 12);
+        for y in 0..12 {
+            for x in 0..12 {
+                a.set(x, y, Vec3::splat(((x * y) % 7) as f32 / 7.0));
+                b.set(x, y, Vec3::splat(((x + y) % 5) as f32 / 5.0));
+            }
+        }
+        assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_images_rejected() {
+        let a = Image::new(4, 4);
+        ssim(&a, &a);
+    }
+}

@@ -1,0 +1,10 @@
+//! Geometric primitives: vectors, rays, bounding boxes, and the
+//! operation-count accounting used by the accelerator cost model.
+
+mod aabb;
+mod ray;
+mod vec3;
+
+pub use aabb::{Aabb, OpCount, GENERAL_INTERSECT_COST, NORMALIZED_INTERSECT_COST};
+pub use ray::{Ray, TSpan};
+pub use vec3::Vec3;

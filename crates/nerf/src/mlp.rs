@@ -1,0 +1,604 @@
+//! Small fully-connected networks (Stage III of the NeRF pipeline).
+//!
+//! Instant-NGP pairs the hash encoding with deliberately tiny MLPs: a
+//! one-hidden-layer density network and a two-hidden-layer color
+//! network. This module provides a from-scratch [`Mlp`] with explicit
+//! forward and backward passes and a flat parameter layout that the
+//! optimizer and the INT8 quantization experiments operate on.
+
+use rand::Rng;
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid (used for RGB outputs).
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// The activation derivative expressed in terms of the *output*
+    /// value `y = f(x)` (all three supported activations admit this
+    /// form, which avoids caching pre-activations).
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::None => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// A multi-layer perceptron with a flat `f32` parameter vector.
+///
+/// Weights are stored layer-major, each layer as a row-major
+/// `out_dim × in_dim` matrix followed by its `out_dim` bias vector.
+///
+/// # Examples
+///
+/// ```
+/// use fusion3d_nerf::mlp::{Activation, Mlp, MlpCache};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let mlp = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::None, &mut rng);
+/// let mut cache = MlpCache::for_mlp(&mlp);
+/// let out = mlp.forward(&[0.1, -0.2, 0.3, 0.4], &mut cache);
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    dims: Vec<usize>,
+    params: Vec<f32>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+/// Per-sample forward-pass activations retained for the backward pass.
+///
+/// Reuse one cache per worker to avoid reallocation; `forward` resizes
+/// it as needed.
+#[derive(Debug, Clone, Default)]
+pub struct MlpCache {
+    /// `activations[0]` is the input; `activations[i]` the output of
+    /// layer `i - 1` *after* its activation function.
+    activations: Vec<Vec<f32>>,
+}
+
+impl MlpCache {
+    /// Creates an empty cache sized lazily on first use.
+    pub fn new() -> Self {
+        MlpCache::default()
+    }
+
+    /// Creates a cache pre-sized for `mlp`.
+    pub fn for_mlp(mlp: &Mlp) -> Self {
+        MlpCache {
+            activations: mlp.dims.iter().map(|&d| vec![0.0; d]).collect(),
+        }
+    }
+
+    /// The network output stored by the last `forward` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has populated the cache.
+    pub fn output(&self) -> &[f32] {
+        self.activations.last().expect("cache is empty; call forward first")
+    }
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer dimensions (input first,
+    /// output last), He-initialized weights, and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are given or any dimension
+    /// is zero.
+    pub fn new<R: Rng>(
+        dims: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "layer dimensions must be positive");
+        let mut params = Vec::new();
+        for w in dims.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let std = (2.0 / fan_in as f32).sqrt();
+            for _ in 0..fan_in * fan_out {
+                // Uniform approximation of a He-normal initialization.
+                params.push(rng.gen_range(-std..std));
+            }
+            params.extend(std::iter::repeat_n(0.0, fan_out));
+        }
+        Mlp {
+            dims: dims.to_vec(),
+            params,
+            hidden_activation,
+            output_activation,
+        }
+    }
+
+    /// Layer dimensions, input first.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Input dimension.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output dimension.
+    #[inline]
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().expect("dims is never empty")
+    }
+
+    /// Number of layers (linear transforms).
+    #[inline]
+    pub fn layer_count(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Flat parameter vector.
+    #[inline]
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Mutable flat parameter vector (used by the optimizer and the
+    /// quantization experiments).
+    #[inline]
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    /// Number of parameters.
+    #[inline]
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Multiply-accumulate operations per forward pass — the dominant
+    /// arithmetic cost the accelerator's post-processing module models.
+    pub fn macs_per_forward(&self) -> u64 {
+        self.dims.windows(2).map(|w| (w[0] * w[1]) as u64).sum()
+    }
+
+    /// The weight matrix (row-major `out × in`) and bias vector of
+    /// layer `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= self.layer_count()`.
+    pub fn layer_params(&self, layer: usize) -> (&[f32], &[f32]) {
+        assert!(layer < self.layer_count(), "layer {layer} out of range");
+        let (in_dim, out_dim) = (self.dims[layer], self.dims[layer + 1]);
+        let off = self.layer_offset(layer);
+        (
+            &self.params[off..off + in_dim * out_dim],
+            &self.params[off + in_dim * out_dim..off + in_dim * out_dim + out_dim],
+        )
+    }
+
+    /// The activation applied after layer `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= self.layer_count()`.
+    pub fn layer_activation(&self, layer: usize) -> Activation {
+        assert!(layer < self.layer_count(), "layer {layer} out of range");
+        self.activation_for_layer(layer)
+    }
+
+    /// Mutable access to the bias of output `index` of the final
+    /// layer, for output-scale initialization tweaks (e.g. the MoE
+    /// density normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.output_dim()`.
+    pub fn output_bias_mut(&mut self, index: usize) -> &mut f32 {
+        assert!(index < self.output_dim(), "output index {index} out of range");
+        let last = self.layer_count() - 1;
+        let (in_dim, out_dim) = (self.dims[last], self.dims[last + 1]);
+        let off = self.layer_offset(last) + in_dim * out_dim + index;
+        &mut self.params[off]
+    }
+
+    /// Offset of layer `l`'s weight matrix in the flat vector.
+    fn layer_offset(&self, layer: usize) -> usize {
+        let mut off = 0;
+        for w in self.dims.windows(2).take(layer) {
+            off += w[0] * w[1] + w[1];
+        }
+        off
+    }
+
+    fn activation_for_layer(&self, layer: usize) -> Activation {
+        if layer + 1 == self.layer_count() {
+            self.output_activation
+        } else {
+            self.hidden_activation
+        }
+    }
+
+    /// Runs the forward pass, retaining activations in `cache`, and
+    /// returns the output slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward<'c>(&self, input: &[f32], cache: &'c mut MlpCache) -> &'c [f32] {
+        assert_eq!(input.len(), self.input_dim(), "input size mismatch");
+        cache.activations.resize_with(self.dims.len(), Vec::new);
+        cache.activations[0].clear();
+        cache.activations[0].extend_from_slice(input);
+        for layer in 0..self.layer_count() {
+            let (in_dim, out_dim) = (self.dims[layer], self.dims[layer + 1]);
+            let off = self.layer_offset(layer);
+            let weights = &self.params[off..off + in_dim * out_dim];
+            let biases = &self.params[off + in_dim * out_dim..off + in_dim * out_dim + out_dim];
+            let act = self.activation_for_layer(layer);
+            // Split the borrow: read activations[layer], write
+            // activations[layer + 1].
+            let (head, tail) = cache.activations.split_at_mut(layer + 1);
+            let x = &head[layer];
+            let y = &mut tail[0];
+            y.clear();
+            y.reserve(out_dim);
+            for o in 0..out_dim {
+                let row = &weights[o * in_dim..(o + 1) * in_dim];
+                let mut acc = biases[o];
+                for (w, v) in row.iter().zip(x.iter()) {
+                    acc += w * v;
+                }
+                y.push(act.apply(acc));
+            }
+        }
+        cache.output()
+    }
+
+    /// Runs the backward pass for the sample whose activations are in
+    /// `cache`.
+    ///
+    /// * `d_output` — gradient of the loss w.r.t. the network output
+    ///   (post-activation).
+    /// * `d_input` — filled with the gradient w.r.t. the input
+    ///   (post-activation of the encoding); must have length
+    ///   `input_dim`.
+    /// * `grads` — flat gradient accumulator with the same layout as
+    ///   [`Mlp::params`]; gradients are *added*, enabling batched
+    ///   accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatches or if `cache` does not hold a forward
+    /// pass for this network.
+    pub fn backward(
+        &self,
+        cache: &MlpCache,
+        d_output: &[f32],
+        d_input: &mut [f32],
+        grads: &mut [f32],
+    ) {
+        assert_eq!(d_output.len(), self.output_dim(), "output gradient size mismatch");
+        assert_eq!(d_input.len(), self.input_dim(), "input gradient size mismatch");
+        assert_eq!(grads.len(), self.params.len(), "parameter gradient size mismatch");
+        assert_eq!(
+            cache.activations.len(),
+            self.dims.len(),
+            "cache does not match network"
+        );
+
+        // delta = dL/d(pre-activation) of the current layer.
+        let mut delta: Vec<f32> = d_output
+            .iter()
+            .zip(cache.activations[self.layer_count()].iter())
+            .map(|(&d, &y)| d * self.activation_for_layer(self.layer_count() - 1).derivative_from_output(y))
+            .collect();
+
+        for layer in (0..self.layer_count()).rev() {
+            let (in_dim, out_dim) = (self.dims[layer], self.dims[layer + 1]);
+            let off = self.layer_offset(layer);
+            let x = &cache.activations[layer];
+            assert_eq!(x.len(), in_dim, "cached activation size mismatch");
+
+            // Weight and bias gradients.
+            {
+                let (gw, gb) = grads[off..off + in_dim * out_dim + out_dim]
+                    .split_at_mut(in_dim * out_dim);
+                for o in 0..out_dim {
+                    let d = delta[o];
+                    let row = &mut gw[o * in_dim..(o + 1) * in_dim];
+                    for (g, &v) in row.iter_mut().zip(x.iter()) {
+                        *g += d * v;
+                    }
+                    gb[o] += d;
+                }
+            }
+
+            // Propagate to the previous layer (or the input).
+            let weights = &self.params[off..off + in_dim * out_dim];
+            let mut d_prev = vec![0.0f32; in_dim];
+            for o in 0..out_dim {
+                let d = delta[o];
+                let row = &weights[o * in_dim..(o + 1) * in_dim];
+                for (dp, &w) in d_prev.iter_mut().zip(row.iter()) {
+                    *dp += d * w;
+                }
+            }
+
+            if layer == 0 {
+                d_input.copy_from_slice(&d_prev);
+            } else {
+                let act = self.activation_for_layer(layer - 1);
+                delta = d_prev
+                    .iter()
+                    .zip(cache.activations[layer].iter())
+                    .map(|(&d, &y)| d * act.derivative_from_output(y))
+                    .collect();
+            }
+        }
+    }
+}
+
+/// Number of spherical-harmonics coefficients produced by
+/// [`sh_encode`] (degree 4, as used by Instant-NGP's color network).
+pub const SH_DIM: usize = 16;
+
+/// Evaluates the real spherical-harmonics basis up to degree 4 (16
+/// coefficients) for a unit direction, the view-direction encoding of
+/// the color network.
+///
+/// The input need not be perfectly normalized; it is renormalized
+/// internally (zero vectors map to the +Z basis evaluation).
+pub fn sh_encode(dir: [f32; 3], out: &mut [f32; SH_DIM]) {
+    let len = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
+    let (x, y, z) = if len > 1e-9 {
+        (dir[0] / len, dir[1] / len, dir[2] / len)
+    } else {
+        (0.0, 0.0, 1.0)
+    };
+    let (xx, yy, zz) = (x * x, y * y, z * z);
+    let (xy, yz, xz) = (x * y, y * z, x * z);
+
+    out[0] = 0.282_094_79;
+    out[1] = -0.488_602_51 * y;
+    out[2] = 0.488_602_51 * z;
+    out[3] = -0.488_602_51 * x;
+    out[4] = 1.092_548_4 * xy;
+    out[5] = -1.092_548_4 * yz;
+    out[6] = 0.315_391_57 * (3.0 * zz - 1.0);
+    out[7] = -1.092_548_4 * xz;
+    out[8] = 0.546_274_2 * (xx - yy);
+    out[9] = -0.590_043_6 * y * (3.0 * xx - yy);
+    out[10] = 2.890_611_4 * xy * z;
+    out[11] = -0.457_045_8 * y * (5.0 * zz - 1.0);
+    out[12] = 0.373_176_33 * z * (5.0 * zz - 3.0);
+    out[13] = -0.457_045_8 * x * (5.0 * zz - 1.0);
+    out[14] = 1.445_305_7 * z * (xx - yy);
+    out[15] = -0.590_043_6 * x * (xx - 3.0 * yy);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp(seed: u64) -> Mlp {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Mlp::new(&[3, 8, 8, 2], Activation::Relu, Activation::None, &mut rng)
+    }
+
+    #[test]
+    fn activation_functions() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::None.apply(-3.5), -3.5);
+        let s = Activation::Sigmoid.apply(0.0);
+        assert!((s - 0.5).abs() < 1e-6);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(1.5), 1.0);
+        assert!((Activation::Sigmoid.derivative_from_output(0.5) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shapes_and_param_layout() {
+        let mlp = tiny_mlp(1);
+        assert_eq!(mlp.input_dim(), 3);
+        assert_eq!(mlp.output_dim(), 2);
+        assert_eq!(mlp.layer_count(), 3);
+        assert_eq!(mlp.param_count(), 3 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2);
+        assert_eq!(mlp.macs_per_forward(), 3 * 8 + 8 * 8 + 8 * 2);
+    }
+
+    #[test]
+    fn forward_output_is_finite_and_deterministic() {
+        let mlp = tiny_mlp(2);
+        let mut cache = MlpCache::for_mlp(&mlp);
+        let out1: Vec<f32> = mlp.forward(&[0.5, -0.5, 0.25], &mut cache).to_vec();
+        let out2: Vec<f32> = mlp.forward(&[0.5, -0.5, 0.25], &mut cache).to_vec();
+        assert_eq!(out1, out2);
+        assert!(out1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut mlp = tiny_mlp(3);
+        let input = [0.3f32, -0.7, 0.9];
+        let d_output = [1.0f32, -2.0];
+
+        let mut cache = MlpCache::new();
+        mlp.forward(&input, &mut cache);
+        let mut d_input = [0.0f32; 3];
+        let mut grads = vec![0.0f32; mlp.param_count()];
+        mlp.backward(&cache, &d_output, &mut d_input, &mut grads);
+
+        let loss = |mlp: &Mlp, input: &[f32]| -> f32 {
+            let mut c = MlpCache::new();
+            let out = mlp.forward(input, &mut c);
+            out[0] * 1.0 + out[1] * -2.0
+        };
+
+        // Parameter gradients.
+        let h = 1e-3f32;
+        for i in (0..mlp.param_count()).step_by(7) {
+            let orig = mlp.params()[i];
+            mlp.params_mut()[i] = orig + h;
+            let up = loss(&mlp, &input);
+            mlp.params_mut()[i] = orig - h;
+            let down = loss(&mlp, &input);
+            mlp.params_mut()[i] = orig;
+            let fd = (up - down) / (2.0 * h);
+            assert!(
+                (fd - grads[i]).abs() < 2e-2 * (1.0 + fd.abs()),
+                "param {i}: fd {fd} vs analytic {}",
+                grads[i]
+            );
+        }
+
+        // Input gradients.
+        for i in 0..3 {
+            let mut plus = input;
+            plus[i] += h;
+            let mut minus = input;
+            minus[i] -= h;
+            let fd = (loss(&mlp, &plus) - loss(&mlp, &minus)) / (2.0 * h);
+            assert!(
+                (fd - d_input[i]).abs() < 2e-2 * (1.0 + fd.abs()),
+                "input {i}: fd {fd} vs analytic {}",
+                d_input[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_output_bounded() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mlp = Mlp::new(&[4, 8, 3], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let mut cache = MlpCache::new();
+        let out = mlp.forward(&[10.0, -10.0, 5.0, -5.0], &mut cache);
+        for &v in out {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gradient_accumulation_is_additive() {
+        let mlp = tiny_mlp(8);
+        let mut cache = MlpCache::new();
+        mlp.forward(&[0.1, 0.2, 0.3], &mut cache);
+        let mut d_input = [0.0f32; 3];
+        let mut grads_once = vec![0.0f32; mlp.param_count()];
+        mlp.backward(&cache, &[1.0, 1.0], &mut d_input, &mut grads_once);
+        let mut grads_twice = vec![0.0f32; mlp.param_count()];
+        mlp.backward(&cache, &[1.0, 1.0], &mut d_input, &mut grads_twice);
+        mlp.backward(&cache, &[1.0, 1.0], &mut d_input, &mut grads_twice);
+        for (a, b) in grads_once.iter().zip(&grads_twice) {
+            assert!((2.0 * a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn forward_rejects_wrong_input() {
+        let mlp = tiny_mlp(9);
+        let mut cache = MlpCache::new();
+        mlp.forward(&[1.0], &mut cache);
+    }
+
+    #[test]
+    fn sh_basis_constant_term_and_norm() {
+        let mut out = [0.0f32; SH_DIM];
+        sh_encode([0.0, 0.0, 1.0], &mut out);
+        assert!((out[0] - 0.282_094_79).abs() < 1e-6);
+        // Degree-1 terms for +Z: only Y_1^0 (index 2) nonzero.
+        assert!(out[1].abs() < 1e-6);
+        assert!(out[2] > 0.4);
+        assert!(out[3].abs() < 1e-6);
+    }
+
+    #[test]
+    fn sh_handles_unnormalized_and_zero_directions() {
+        let mut a = [0.0f32; SH_DIM];
+        let mut b = [0.0f32; SH_DIM];
+        sh_encode([0.0, 0.0, 10.0], &mut a);
+        sh_encode([0.0, 0.0, 1.0], &mut b);
+        assert_eq!(a, b);
+        let mut z = [0.0f32; SH_DIM];
+        sh_encode([0.0, 0.0, 0.0], &mut z);
+        assert_eq!(z, b, "zero direction falls back to +Z");
+    }
+
+    #[test]
+    fn sh_orthogonality_numerically() {
+        // Monte-Carlo check: distinct SH basis functions are
+        // orthogonal over the sphere (loose tolerance at 20k samples).
+        let mut rng = SmallRng::seed_from_u64(42);
+        use rand::Rng;
+        let n = 20_000;
+        let mut gram = [[0.0f64; 4]; 4];
+        for _ in 0..n {
+            // Uniform direction via normalized Gaussian-ish sampling
+            // (Box–Muller-free approximation: rejection from cube).
+            let v = loop {
+                let v = [
+                    rng.gen_range(-1.0f32..1.0),
+                    rng.gen_range(-1.0f32..1.0),
+                    rng.gen_range(-1.0f32..1.0),
+                ];
+                let l2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+                if l2 > 1e-4 && l2 <= 1.0 {
+                    break v;
+                }
+            };
+            let mut out = [0.0f32; SH_DIM];
+            sh_encode(v, &mut out);
+            for (i, row) in gram.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell += (out[i] * out[j]) as f64;
+                }
+            }
+        }
+        let norm = 4.0 * std::f64::consts::PI / n as f64;
+        for (i, row) in gram.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                let v = cell * norm;
+                if i == j {
+                    assert!((v - 1.0).abs() < 0.1, "diag {i}: {v}");
+                } else {
+                    assert!(v.abs() < 0.1, "off-diag ({i},{j}): {v}");
+                }
+            }
+        }
+    }
+}

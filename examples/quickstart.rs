@@ -1,0 +1,80 @@
+//! Quickstart: instant reconstruction and real-time rendering of a
+//! procedural scene, end to end.
+//!
+//! The example trains a compact NeRF on a NeRF-Synthetic-class
+//! procedural scene, reports PSNR against held-out views, and then
+//! replays the frame's Stage-I workload through the cycle-level chip
+//! simulator to estimate what the scaled-up Fusion-3D accelerator
+//! would deliver on it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fusion3d::core::chip::FusionChip;
+use fusion3d::nerf::pipeline::trace_frame;
+use fusion3d::nerf::{
+    Dataset, ModelConfig, NerfModel, ProceduralScene, SyntheticScene, Trainer, TrainerConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let scene = ProceduralScene::synthetic(SyntheticScene::Hotdog);
+    println!("Scene: {} ({} SDF primitives)", scene.name(), scene.primitive_count());
+
+    // 1. Render a ground-truth dataset of posed views.
+    let dataset = Dataset::from_scene(&scene, 8, 32, 0.9);
+    println!(
+        "Dataset: {} views, {} rays total",
+        dataset.views().len(),
+        dataset.total_rays()
+    );
+
+    // 2. Instant reconstruction: train the hash-grid field.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let model = NerfModel::new(ModelConfig::default(), &mut rng);
+    println!("Model: {} parameters", model.param_count());
+    let mut trainer = Trainer::new(model, TrainerConfig::default());
+    let started = Instant::now();
+    let iterations = 400;
+    for i in 0..iterations {
+        let stats = trainer.step(&dataset, &mut rng);
+        if (i + 1) % 100 == 0 {
+            println!(
+                "  iter {:>4}: loss {:.5}, {} samples, occupancy {:.0}%",
+                i + 1,
+                stats.loss,
+                stats.samples,
+                trainer.occupancy().occupancy_ratio() * 100.0
+            );
+        }
+    }
+    let elapsed = started.elapsed();
+    let psnr = trainer.evaluate_psnr(&dataset);
+    println!("Trained {iterations} iterations in {elapsed:.2?}; PSNR {psnr:.2} dB");
+
+    // 3. Real-time rendering: replay the frame through the simulated
+    //    chip.
+    let view = &dataset.views()[0];
+    let trace = trace_frame(trainer.occupancy(), &view.camera, &trainer.config().sampler);
+    let chip = FusionChip::scaled_up();
+    let report = chip.simulate_frame(&trace);
+    // Scale the small trace to the paper's 800x800 frames.
+    let scale = 800.0 * 800.0 / trace.ray_count() as f64;
+    let frame_s = report.seconds * scale;
+    println!(
+        "Chip simulation: {:.1} M samples/s sustained; an 800x800 frame of this \
+         scene takes {:.2} ms ({:.0} FPS)",
+        report.points_per_second() / 1e6,
+        frame_s * 1e3,
+        1.0 / frame_s
+    );
+    let train_step = chip.simulate_training_step(&trace);
+    println!(
+        "Training on-chip: {:.1} M samples/s ({:.1}x slower than inference)",
+        train_step.points_per_second() / 1e6,
+        report.points_per_second() / train_step.points_per_second()
+    );
+}

@@ -1,0 +1,59 @@
+//! # fusion3d
+//!
+//! A Rust reproduction of **Fusion-3D: Integrated Acceleration for
+//! Instant 3D Reconstruction and Real-Time Rendering** (MICRO 2024) —
+//! an end-to-end NeRF accelerator with instant (≤ 2 s) training,
+//! real-time (≥ 30 FPS) rendering, USB-class (0.6 GB/s) off-chip
+//! bandwidth, and a four-chip Mixture-of-Experts system for
+//! large-scale scenes.
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`nerf`] — the Instant-NGP-style algorithm substrate: hash-grid
+//!   encoding, tiny MLPs, occupancy-gated sampling, differentiable
+//!   volume rendering, training, and procedural datasets;
+//! * [`arith`] — mixed-precision arithmetic: soft floats, binary16,
+//!   and the FIEM FP×INT multiplier with its gate-level cost model;
+//! * [`mem`] — SRAM banks, the two-level hash tiling that makes
+//!   feature fetches conflict-free, and interconnect cost models;
+//! * [`core`] — the single-chip accelerator: cycle-level simulators of
+//!   all three pipeline stages, energy/area models calibrated to the
+//!   28 nm silicon measurements, and bandwidth analysis;
+//! * [`multichip`] — the MoE NeRF model and the four-chip system;
+//! * [`baselines`] — published specs of every comparison device.
+//!
+//! ## Quickstart
+//!
+//! Train a small field on a procedural scene and consult the simulated
+//! chip:
+//!
+//! ```
+//! use fusion3d::nerf::{Dataset, ModelConfig, NerfModel, ProceduralScene,
+//!                      SyntheticScene, Trainer, TrainerConfig};
+//! use fusion3d::core::chip::FusionChip;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let scene = ProceduralScene::synthetic(SyntheticScene::Lego);
+//! let dataset = Dataset::from_scene(&scene, 4, 16, 0.9);
+//! let mut trainer = Trainer::new(
+//!     NerfModel::new(ModelConfig::default(), &mut rng),
+//!     TrainerConfig::default(),
+//! );
+//! trainer.step(&dataset, &mut rng);
+//!
+//! let chip = FusionChip::scaled_up();
+//! assert!(chip.peak_inference_points_per_second() > 5e8);
+//! ```
+//!
+//! See the `examples/` directory for full scenarios and
+//! `fusion3d-bench` for the per-table/figure experiment harness.
+
+#![warn(missing_docs)]
+
+pub use fusion3d_arith as arith;
+pub use fusion3d_baselines as baselines;
+pub use fusion3d_core as core;
+pub use fusion3d_mem as mem;
+pub use fusion3d_multichip as multichip;
+pub use fusion3d_nerf as nerf;
