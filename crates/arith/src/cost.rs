@@ -112,7 +112,9 @@ pub fn fpmul_f32() -> HardwareCost {
 /// priority encoder (leading-one detect), normalizing barrel shifter,
 /// exponent adjust, rounding.
 pub fn int2fp(int_bits: u32) -> HardwareCost {
-    priority_encoder(int_bits) + barrel_shifter(int_bits.max(F32_SIG_BITS)) + adder(8)
+    priority_encoder(int_bits)
+        + barrel_shifter(int_bits.max(F32_SIG_BITS))
+        + adder(8)
         + rounding(F32_SIG_BITS)
 }
 

@@ -39,10 +39,7 @@ pub const FIEM_MAX_INT: i32 = 1 << 24;
 /// assert_eq!(fiem_mul(-0.375, 3), -1.125);
 /// ```
 pub fn fiem_mul(value: f32, int: i32) -> f32 {
-    assert!(
-        int.abs() <= FIEM_MAX_INT,
-        "FIEM integer operand out of range: {int}"
-    );
+    assert!(int.abs() <= FIEM_MAX_INT, "FIEM integer operand out of range: {int}");
     let parts = F32Parts::from_f32(value);
     if int == 0 || parts.significand == 0 {
         return if parts.negative != (int < 0) { -0.0 } else { 0.0 };
@@ -62,10 +59,7 @@ pub fn fiem_mul(value: f32, int: i32) -> f32 {
 /// Panics if `value` is not finite or `|int| > 2^24`.
 pub fn int2fp_fpmul(value: f32, int: i32) -> f32 {
     assert!(value.is_finite(), "reference path requires finite input");
-    assert!(
-        int.abs() <= FIEM_MAX_INT,
-        "integer operand out of range: {int}"
-    );
+    assert!(int.abs() <= FIEM_MAX_INT, "integer operand out of range: {int}");
     value * int as f32
 }
 

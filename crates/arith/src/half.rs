@@ -154,7 +154,6 @@ impl F16 {
     pub fn is_finite(self) -> bool {
         (self.0 & 0x7C00) != 0x7C00
     }
-
 }
 
 impl std::ops::Add for F16 {

@@ -43,11 +43,7 @@ impl F32Parts {
         let fraction = bits & ((1 << F32_FRACTION_BITS) - 1);
         if raw_exp == 0 {
             // Zero or subnormal: no implicit bit, minimum exponent.
-            F32Parts {
-                negative,
-                exponent: 1 - F32_EXP_BIAS,
-                significand: fraction,
-            }
+            F32Parts { negative, exponent: 1 - F32_EXP_BIAS, significand: fraction }
         } else {
             F32Parts {
                 negative,
@@ -140,8 +136,7 @@ mod tests {
 
     #[test]
     fn round_trip_exact_values() {
-        for v in [0.0f32, 1.0, -1.0, 0.5, 3.25, -123.75, 1e-20, 1e20, f32::MAX, f32::MIN_POSITIVE]
-        {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 3.25, -123.75, 1e-20, 1e20, f32::MAX, f32::MIN_POSITIVE] {
             let parts = F32Parts::from_f32(v);
             assert_eq!(parts.to_f32().to_bits(), v.to_bits(), "round trip of {v}");
         }

@@ -353,14 +353,7 @@ pub fn rtx_2080ti() -> DeviceSpec {
 
 /// The Table III single-chip comparison baselines, in column order.
 pub fn table3_baselines() -> Vec<DeviceSpec> {
-    vec![
-        jetson_nano(),
-        jetson_xnx(),
-        rtnerf_edge(),
-        instant3d(),
-        neurex_edge(),
-        metavrain(),
-    ]
+    vec![jetson_nano(), jetson_xnx(), rtnerf_edge(), instant3d(), neurex_edge(), metavrain()]
 }
 
 /// The Table IV multi-chip comparison baselines, in column order.
@@ -452,11 +445,7 @@ mod tests {
         let usb = edge_platforms()[0].bandwidth_gbs;
         for acc in table1_accelerators() {
             if let Some(bw) = acc.offchip_bandwidth_gbs {
-                assert!(
-                    bw > 20.0 * usb,
-                    "{} needs only {bw} GB/s?",
-                    acc.name
-                );
+                assert!(bw > 20.0 * usb, "{} needs only {bw} GB/s?", acc.name);
             }
         }
         // This work: 0.6 GB/s fits under the USB budget.

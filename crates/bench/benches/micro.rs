@@ -4,13 +4,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fusion3d_arith::fiem::{fiem_mul, int2fp_fpmul};
+use fusion3d_core::sampling::{simulate_sampling, SamplingModuleConfig};
 use fusion3d_mem::banks::{group_from_addresses, simulate_groups, BankMapping, VertexRequest};
 use fusion3d_nerf::encoding::{HashGrid, HashGridConfig};
 use fusion3d_nerf::math::{Ray, Vec3};
 use fusion3d_nerf::occupancy::OccupancyGrid;
 use fusion3d_nerf::render::{composite, composite_backward, ShadedSample};
 use fusion3d_nerf::sampler::{sample_ray, SamplerConfig};
-use fusion3d_core::sampling::{simulate_sampling, SamplingModuleConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -54,9 +54,7 @@ fn bench_bank_mappings(c: &mut Criterion) {
 }
 
 fn bench_fiem(c: &mut Criterion) {
-    c.bench_function("fiem_mul", |b| {
-        b.iter(|| fiem_mul(black_box(0.7324f32), black_box(517)))
-    });
+    c.bench_function("fiem_mul", |b| b.iter(|| fiem_mul(black_box(0.7324f32), black_box(517))));
     c.bench_function("int2fp_fpmul_reference", |b| {
         b.iter(|| int2fp_fpmul(black_box(0.7324f32), black_box(517)))
     });

@@ -1,0 +1,88 @@
+//! Thread-scaling benchmarks of the two multi-core hot paths: frame
+//! rendering and the sharded training step. Each benchmark runs the
+//! identical workload at 1, 2, 4, and 8 workers via the
+//! `fusion3d-par` thread override — the outputs are bitwise-identical
+//! across the sweep, so the timings isolate pure scaling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusion3d_nerf::camera::{orbit_poses, Camera};
+use fusion3d_nerf::dataset::Dataset;
+use fusion3d_nerf::encoding::HashGridConfig;
+use fusion3d_nerf::math::Vec3;
+use fusion3d_nerf::model::{ModelConfig, NerfModel};
+use fusion3d_nerf::pipeline::{render_image, PipelineConfig};
+use fusion3d_nerf::sampler::SamplerConfig;
+use fusion3d_nerf::scenes::{ProceduralScene, SyntheticScene};
+use fusion3d_nerf::trainer::{Trainer, TrainerConfig};
+use fusion3d_par::set_thread_override;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_model() -> NerfModel {
+    let mut rng = SmallRng::seed_from_u64(7);
+    NerfModel::new(
+        ModelConfig {
+            grid: HashGridConfig {
+                levels: 4,
+                features_per_level: 2,
+                log2_table_size: 11,
+                base_resolution: 4,
+                max_resolution: 32,
+            },
+            hidden_dim: 16,
+            geo_feature_dim: 7,
+        },
+        &mut rng,
+    )
+}
+
+fn bench_render_scaling(c: &mut Criterion) {
+    let model = bench_model();
+    let scene = ProceduralScene::synthetic(SyntheticScene::Lego);
+    let occupancy = scene.occupancy_grid(24);
+    let pose = orbit_poses(Vec3::splat(0.5), 1.25, 8)[2];
+    let camera = Camera::new(pose, 64, 64, 0.9);
+    let config = PipelineConfig {
+        sampler: SamplerConfig { steps_per_diagonal: 96, max_samples_per_ray: 48 },
+        background: Vec3::ONE,
+        early_stop: true,
+    };
+
+    let mut group = c.benchmark_group("render_image_64x64");
+    for threads in THREAD_SWEEP {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            set_thread_override(Some(threads));
+            b.iter(|| render_image(black_box(&model), &occupancy, &camera, &config));
+            set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_scaling(c: &mut Criterion) {
+    let scene = ProceduralScene::synthetic(SyntheticScene::Hotdog);
+    let dataset = Dataset::from_scene(&scene, 3, 16, 0.9);
+    let config = TrainerConfig {
+        rays_per_batch: 128,
+        sampler: SamplerConfig { steps_per_diagonal: 64, max_samples_per_ray: 32 },
+        occupancy_warmup: u32::MAX, // keep per-step cost stable
+        ..TrainerConfig::default()
+    };
+
+    let mut group = c.benchmark_group("trainer_step_128_rays");
+    for threads in THREAD_SWEEP {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            set_thread_override(Some(threads));
+            let mut trainer = Trainer::new(bench_model(), config);
+            let mut rng = SmallRng::seed_from_u64(13);
+            b.iter(|| trainer.step(black_box(&dataset), &mut rng));
+            set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_render_scaling, bench_training_scaling);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Explores the single-chip design space: interpolation-core sweep and
 //! DVFS operating points on a representative workload.
-use fusion3d_bench::support::{scene_trace, print_table};
+use fusion3d_bench::support::{print_table, scene_trace};
 use fusion3d_core::design_space::{sweep_interp_cores, sweep_voltage};
 use fusion3d_nerf::scenes::SyntheticScene;
 

@@ -2,7 +2,7 @@
 //! shared-pipeline and FIEM study, the per-stage speedup breakdown,
 //! and the TensoRF transfer study.
 
-use crate::support::{print_table, scene_trace};
+use crate::support::{for_each_scene, print_table, scene_trace};
 use fusion3d_arith::cost::{compare_fiem, WEIGHT_BITS};
 use fusion3d_baselines::devices;
 use fusion3d_core::chip::FusionChip;
@@ -56,15 +56,15 @@ pub fn run_breakdown() {
     println!("\n=== Ablation: speedup breakdown vs Nvidia Jetson XNX ===");
     let chip = FusionChip::scaled_up();
     let xnx = devices::jetson_xnx();
-    let mut inf = 0.0;
-    let mut train = 0.0;
-    for scene in SyntheticScene::ALL {
+    let per_scene = for_each_scene(&SyntheticScene::ALL, |scene| {
         let trace = scene_trace(scene);
-        inf += chip.simulate_frame(&trace).points_per_second();
-        train += chip.simulate_training_step(&trace).points_per_second();
-    }
-    inf /= SyntheticScene::ALL.len() as f64;
-    train /= SyntheticScene::ALL.len() as f64;
+        (
+            chip.simulate_frame(&trace).points_per_second(),
+            chip.simulate_training_step(&trace).points_per_second(),
+        )
+    });
+    let inf = per_scene.iter().map(|&(i, _)| i).sum::<f64>() / SyntheticScene::ALL.len() as f64;
+    let train = per_scene.iter().map(|&(_, t)| t).sum::<f64>() / SyntheticScene::ALL.len() as f64;
     let inf_speedup = inf / (xnx.inference_mpts.unwrap_or(1.0) * 1e6);
     let train_speedup = train / (xnx.training_mpts.unwrap_or(1.0) * 1e6);
     println!(
@@ -206,8 +206,8 @@ mod tests {
         let chip = FusionChip::scaled_up();
         let xnx = devices::jetson_xnx();
         let trace = scene_trace(SyntheticScene::Lego);
-        let inf = chip.simulate_frame(&trace).points_per_second()
-            / (xnx.inference_mpts.unwrap() * 1e6);
+        let inf =
+            chip.simulate_frame(&trace).points_per_second() / (xnx.inference_mpts.unwrap() * 1e6);
         let train = chip.simulate_training_step(&trace).points_per_second()
             / (xnx.training_mpts.unwrap() * 1e6);
         assert!((15.0..=80.0).contains(&inf), "inference speedup {inf}");

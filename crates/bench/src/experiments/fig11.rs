@@ -2,7 +2,7 @@
 //! single-chip accelerator against the baseline devices, over the
 //! eight NeRF-Synthetic-class scenes.
 
-use crate::support::{print_table, scene_trace};
+use crate::support::{for_each_scene, print_table, scene_trace};
 use fusion3d_baselines::devices::{self, DeviceSpec};
 use fusion3d_core::chip::FusionChip;
 use fusion3d_nerf::scenes::SyntheticScene;
@@ -24,27 +24,28 @@ pub struct SceneComparison {
 /// Compares the scaled-up chip against `baseline` on every scene.
 pub fn compare_against(baseline: &DeviceSpec) -> Vec<SceneComparison> {
     let chip = FusionChip::scaled_up();
-    SyntheticScene::ALL
-        .iter()
-        .map(|&scene| {
-            let trace = scene_trace(scene);
-            let report = chip.simulate_frame(&trace);
-            let ours_pts = report.points_per_second();
-            let ours_nj = chip.config().typical_power_w / ours_pts * 1e9;
-            SceneComparison {
-                scene: scene.name(),
-                ours_pts,
-                speedup: baseline.inference_mpts.map(|m| ours_pts / (m * 1e6)),
-                energy_gain: baseline.inference_nj_per_pt.map(|nj| nj / ours_nj),
-            }
-        })
-        .collect()
+    for_each_scene(&SyntheticScene::ALL, |scene| {
+        let trace = scene_trace(scene);
+        let report = chip.simulate_frame(&trace);
+        let ours_pts = report.points_per_second();
+        let ours_nj = chip.config().typical_power_w / ours_pts * 1e9;
+        SceneComparison {
+            scene: scene.name(),
+            ours_pts,
+            speedup: baseline.inference_mpts.map(|m| ours_pts / (m * 1e6)),
+            energy_gain: baseline.inference_nj_per_pt.map(|nj| nj / ours_nj),
+        }
+    })
 }
 
 /// Prints the Fig. 11 reproduction.
 pub fn run() {
-    let baselines =
-        [devices::jetson_xnx(), devices::rtnerf_edge(), devices::neurex_edge(), devices::metavrain()];
+    let baselines = [
+        devices::jetson_xnx(),
+        devices::rtnerf_edge(),
+        devices::neurex_edge(),
+        devices::metavrain(),
+    ];
     let mut body = Vec::new();
     for b in &baselines {
         for c in compare_against(b) {
@@ -88,8 +89,7 @@ mod tests {
         // Jetson XNX; the per-scene normalized numbers land in the
         // tens.
         let comps = compare_against(&devices::jetson_xnx());
-        let mean: f64 =
-            comps.iter().filter_map(|c| c.speedup).sum::<f64>() / comps.len() as f64;
+        let mean: f64 = comps.iter().filter_map(|c| c.speedup).sum::<f64>() / comps.len() as f64;
         assert!((15.0..=60.0).contains(&mean), "mean XNX speedup {mean}");
     }
 }

@@ -5,7 +5,9 @@
 
 use crate::support::{large_scene_trace, print_table};
 use fusion3d_mem::banks::{simulate_groups, BankMapping, VertexRequest, BANKS};
-use fusion3d_mem::interconnect::{compare as compare_interconnect, STAGE2_PORTS, STAGE2_WIDTH_BITS};
+use fusion3d_mem::interconnect::{
+    compare as compare_interconnect, STAGE2_PORTS, STAGE2_WIDTH_BITS,
+};
 use fusion3d_multichip::comm::{moe_communication_saving, FrameWorkload};
 use fusion3d_nerf::encoding::{HashGrid, HashGridConfig};
 use fusion3d_nerf::math::Vec3;
@@ -27,11 +29,8 @@ pub fn request_groups(points: usize) -> Vec<[VertexRequest; 8]> {
     // A deterministic low-discrepancy point set.
     for i in 0..points {
         let f = i as f32;
-        let p = Vec3::new(
-            (f * 0.754877_7).fract(),
-            (f * 0.569840_4).fract(),
-            (f * 0.402914_6).fract(),
-        );
+        let p =
+            Vec3::new((f * 0.754877_7).fract(), (f * 0.569840_4).fract(), (f * 0.402914_6).fract());
         trace.clear();
         grid.record_accesses(p, &mut trace);
         for level in trace.chunks(8) {

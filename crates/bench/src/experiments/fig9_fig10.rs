@@ -55,10 +55,16 @@ pub fn run_fig10() {
         .map(|&m| {
             vec![
                 m.name().to_string(),
-                format!("{:.2} ({:.0}%)", p.module_area_mm2(m),
-                    100.0 * p.module_area_mm2(m) / p.die_area_mm2),
-                format!("{:.3} ({:.0}%)", p.module_power_w(m),
-                    100.0 * p.module_power_w(m) / p.typical_power_w),
+                format!(
+                    "{:.2} ({:.0}%)",
+                    p.module_area_mm2(m),
+                    100.0 * p.module_area_mm2(m) / p.die_area_mm2
+                ),
+                format!(
+                    "{:.3} ({:.0}%)",
+                    p.module_power_w(m),
+                    100.0 * p.module_power_w(m) / p.typical_power_w
+                ),
             ]
         })
         .collect();

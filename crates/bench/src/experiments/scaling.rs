@@ -2,8 +2,9 @@
 //! varying numbers of chips" (Sec. V-A, Fig. 8 top row), and the
 //! convergent PSNR improves with the number of experts (Fig. 13(a)).
 
-use crate::support::{large_scene_occupancy, partition_occupancy, print_table, trace_camera,
-    trace_sampler, TRACE_RES};
+use crate::support::{
+    large_scene_occupancy, partition_occupancy, print_table, trace_camera, trace_sampler, TRACE_RES,
+};
 use fusion3d_multichip::moe::{MoeNerf, MoeTrainer};
 use fusion3d_multichip::system::{MultiChipConfig, MultiChipSystem};
 use fusion3d_nerf::adam::AdamConfig;
@@ -45,9 +46,7 @@ pub fn sweep_chips(scene: LargeScene, counts: &[usize]) -> Vec<ScalePoint> {
             let gates = partition_occupancy(&full, n);
             let per_chip: Vec<Vec<fusion3d_nerf::sampler::RayWorkload>> = gates
                 .iter()
-                .map(|g| {
-                    camera.rays().map(|(_, _, ray)| sample_ray(&ray, g, &sampler).1).collect()
-                })
+                .map(|g| camera.rays().map(|(_, _, ray)| sample_ray(&ray, g, &sampler).1).collect())
                 .collect();
             let report = system.simulate(&per_chip, false);
             ScalePoint {
@@ -143,10 +142,8 @@ pub fn run() {
     );
 
     let psnr = psnr_vs_expert_count(260);
-    let body: Vec<Vec<String>> = psnr
-        .iter()
-        .map(|(n, p)| vec![n.to_string(), format!("{p:.2}")])
-        .collect();
+    let body: Vec<Vec<String>> =
+        psnr.iter().map(|(n, p)| vec![n.to_string(), format!("{p:.2}")]).collect();
     print_table(
         "Convergent PSNR vs expert count (Room scene, equal per-expert size)",
         &["Experts", "PSNR (dB)"],
@@ -185,9 +182,6 @@ mod tests {
         let one = psnr[0].1;
         let four = psnr[2].1;
         assert!(one.is_finite() && four.is_finite());
-        assert!(
-            four > one - 0.75,
-            "4 experts ({four:.2} dB) should match or beat 1 ({one:.2} dB)"
-        );
+        assert!(four > one - 0.75, "4 experts ({four:.2} dB) should match or beat 1 ({one:.2} dB)");
     }
 }

@@ -26,7 +26,7 @@ pub const ITERATIONS: u32 = 240;
 pub fn schedules() -> [QuantSchedule; 4] {
     [
         QuantSchedule::Never,
-        QuantSchedule::Every(ITERATIONS / 5),  // paper: 1000/5000
+        QuantSchedule::Every(ITERATIONS / 5), // paper: 1000/5000
         QuantSchedule::Every(ITERATIONS / 25), // paper: 200/5000
         QuantSchedule::Every(1),
     ]
@@ -131,10 +131,7 @@ mod tests {
         let frequent = results[2].1;
         let every = results[3].1;
         assert!(never.is_finite() && never > 10.0, "baseline PSNR {never}");
-        assert!(
-            rare <= never + 0.3,
-            "rare quantization should not beat float: {rare} vs {never}"
-        );
+        assert!(rare <= never + 0.3, "rare quantization should not beat float: {rare} vs {never}");
         assert!(
             every <= never - 0.5 || results[3].2,
             "per-iteration quantization must hurt: {every} vs {never}"

@@ -5,7 +5,7 @@
 //! NeRF-Synthetic-class scene traces; baseline columns are the
 //! published numbers in `fusion3d-baselines`.
 
-use crate::support::{opt, print_table, scene_trace, yn};
+use crate::support::{for_each_scene, opt, print_table, scene_trace, yn};
 use fusion3d_baselines::devices;
 use fusion3d_core::chip::FusionChip;
 use fusion3d_nerf::scenes::SyntheticScene;
@@ -27,15 +27,15 @@ pub struct SingleChipSummary {
 /// sustained throughputs.
 pub fn simulate_single_chip() -> SingleChipSummary {
     let chip = FusionChip::scaled_up();
-    let mut inf = 0.0;
-    let mut train = 0.0;
-    for scene in SyntheticScene::ALL {
+    let per_scene = for_each_scene(&SyntheticScene::ALL, |scene| {
         let trace = scene_trace(scene);
-        inf += chip.simulate_frame(&trace).points_per_second();
-        train += chip.simulate_training_step(&trace).points_per_second();
-    }
-    let inf = inf / SyntheticScene::ALL.len() as f64;
-    let train = train / SyntheticScene::ALL.len() as f64;
+        (
+            chip.simulate_frame(&trace).points_per_second(),
+            chip.simulate_training_step(&trace).points_per_second(),
+        )
+    });
+    let inf = per_scene.iter().map(|&(i, _)| i).sum::<f64>() / SyntheticScene::ALL.len() as f64;
+    let train = per_scene.iter().map(|&(_, t)| t).sum::<f64>() / SyntheticScene::ALL.len() as f64;
     let power = chip.config().typical_power_w;
     SingleChipSummary {
         inference_mpts: inf / 1e6,
@@ -89,21 +89,17 @@ pub fn run() {
     print_table(
         "Table III: single-chip accelerator vs. SOTA NeRF accelerators",
         &[
-            "Device", "Silicon", "Process", "Area", "MHz", "SRAM KB", "Instant", "RT-Inf",
-            "E2E", "Inf M/s", "Trn M/s", "Inf nJ", "Trn nJ", "BW GB/s",
+            "Device", "Silicon", "Process", "Area", "MHz", "SRAM KB", "Instant", "RT-Inf", "E2E",
+            "Inf M/s", "Trn M/s", "Inf nJ", "Trn nJ", "BW GB/s",
         ],
         &body,
     );
 
     // Headline ratios.
-    let best_inf = devices::table3_baselines()
-        .iter()
-        .filter_map(|d| d.inference_mpts)
-        .fold(0.0f64, f64::max);
-    let best_train = devices::table3_baselines()
-        .iter()
-        .filter_map(|d| d.training_mpts)
-        .fold(0.0f64, f64::max);
+    let best_inf =
+        devices::table3_baselines().iter().filter_map(|d| d.inference_mpts).fold(0.0f64, f64::max);
+    let best_train =
+        devices::table3_baselines().iter().filter_map(|d| d.training_mpts).fold(0.0f64, f64::max);
     let best_inf_nj = devices::table3_baselines()
         .iter()
         .filter_map(|d| d.inference_nj_per_pt)
@@ -133,11 +129,7 @@ mod tests {
         let s = simulate_single_chip();
         // Sustained inference in the hundreds of M pts/s; the paper
         // reports 591 on its testbed.
-        assert!(
-            (300.0..=650.0).contains(&s.inference_mpts),
-            "inference {} M/s",
-            s.inference_mpts
-        );
+        assert!((300.0..=650.0).contains(&s.inference_mpts), "inference {} M/s", s.inference_mpts);
         // Training about one third of inference (the 3-cycle RMW).
         let ratio = s.inference_mpts / s.training_mpts;
         assert!((2.0..=4.0).contains(&ratio), "train ratio {ratio}");

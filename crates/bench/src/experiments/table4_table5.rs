@@ -2,8 +2,10 @@
 //! (per-scene speedup/energy vs the 2080 Ti on the seven NeRF-360
 //! scenes).
 
-use crate::support::{large_scene_occupancy, opt, partition_occupancy, print_table, trace_camera,
-    trace_sampler, TRACE_RES};
+use crate::support::{
+    for_each_scene, large_scene_occupancy, opt, partition_occupancy, print_table, trace_camera,
+    trace_sampler, TRACE_RES,
+};
 use fusion3d_baselines::devices;
 use fusion3d_multichip::system::MultiChipSystem;
 use fusion3d_nerf::sampler::{sample_ray, RayWorkload};
@@ -41,9 +43,7 @@ pub fn per_chip_workloads(scene: LargeScene, chips: usize) -> Vec<Vec<RayWorkloa
     let sampler = trace_sampler();
     gates
         .iter()
-        .map(|gate| {
-            camera.rays().map(|(_, _, ray)| sample_ray(&ray, gate, &sampler).1).collect()
-        })
+        .map(|gate| camera.rays().map(|(_, _, ray)| sample_ray(&ray, gate, &sampler).1).collect())
         .collect()
 }
 
@@ -98,7 +98,7 @@ pub fn gpu_rates_per_scene(results: &[LargeSceneResult], gpu_mean_pts: f64) -> V
 
 /// Simulates all seven NeRF-360-class scenes.
 pub fn all_large_scenes() -> Vec<LargeSceneResult> {
-    LargeScene::ALL.iter().map(|&s| simulate_large_scene(s)).collect()
+    for_each_scene(&LargeScene::ALL, simulate_large_scene)
 }
 
 /// Prints the Table IV reproduction.
@@ -106,10 +106,8 @@ pub fn run_table4() {
     let system = MultiChipSystem::fusion3d();
     let cfg = system.config();
     let results = all_large_scenes();
-    let mean_inf =
-        results.iter().map(|r| r.inference_pts).sum::<f64>() / results.len() as f64;
-    let mean_train =
-        results.iter().map(|r| r.training_pts).sum::<f64>() / results.len() as f64;
+    let mean_inf = results.iter().map(|r| r.inference_pts).sum::<f64>() / results.len() as f64;
+    let mean_train = results.iter().map(|r| r.training_pts).sum::<f64>() / results.len() as f64;
     let power = cfg.total_power_w();
 
     let mut body = Vec::new();
@@ -140,8 +138,15 @@ pub fn run_table4() {
     print_table(
         "Table IV: multi-chip system vs. cloud NeRF accelerators",
         &[
-            "Device", "Process", "Area mm^2", "MHz", "SRAM KB", "Power W", "Inf M/s/W",
-            "Trn M/s/W", "BW GB/s",
+            "Device",
+            "Process",
+            "Area mm^2",
+            "MHz",
+            "SRAM KB",
+            "Power W",
+            "Inf M/s/W",
+            "Trn M/s/W",
+            "BW GB/s",
         ],
         &body,
     );
@@ -239,8 +244,7 @@ mod tests {
     fn system_throughput_per_watt_beats_cloud_baselines() {
         let system = MultiChipSystem::fusion3d();
         let results = all_large_scenes();
-        let mean_inf =
-            results.iter().map(|r| r.inference_pts).sum::<f64>() / results.len() as f64;
+        let mean_inf = results.iter().map(|r| r.inference_pts).sum::<f64>() / results.len() as f64;
         let per_watt = mean_inf / system.config().total_power_w() / 1e6;
         // Table IV: 98.5 M/s/W vs NeuRex-Server's 50 — ours roughly
         // 2x the best baseline, orders over the GPU's 0.4.

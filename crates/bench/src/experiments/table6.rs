@@ -2,16 +2,13 @@
 //! normalization & partitioning + dynamic workload scheduling) over
 //! the naive sampling module, per scene.
 
-use crate::support::{print_table, scene_trace};
+use crate::support::{for_each_scene, print_table, scene_trace};
 use fusion3d_core::sampling::t1_speedup;
 use fusion3d_nerf::scenes::SyntheticScene;
 
 /// Per-scene T1 speedup.
 pub fn per_scene_speedups() -> Vec<(SyntheticScene, f64)> {
-    SyntheticScene::ALL
-        .iter()
-        .map(|&scene| (scene, t1_speedup(&scene_trace(scene).workloads)))
-        .collect()
+    for_each_scene(&SyntheticScene::ALL, |scene| (scene, t1_speedup(&scene_trace(scene).workloads)))
 }
 
 /// Prints the Table VI reproduction.
@@ -39,16 +36,11 @@ mod tests {
 
     #[test]
     fn speedups_match_paper_shape() {
-        let speedups: HashMap<&str, f64> = per_scene_speedups()
-            .into_iter()
-            .map(|(s, v)| (s.name(), v))
-            .collect();
+        let speedups: HashMap<&str, f64> =
+            per_scene_speedups().into_iter().map(|(s, v)| (s.name(), v)).collect();
         // All scenes accelerate substantially.
         for (name, s) in &speedups {
-            assert!(
-                (2.0..=64.0).contains(s),
-                "{name}: T1 speedup {s} out of the physical band"
-            );
+            assert!((2.0..=64.0).contains(s), "{name}: T1 speedup {s} out of the physical band");
         }
         // The paper's extremes: mic (sparsest) gains the most, ship
         // (densest) the least.

@@ -7,6 +7,7 @@ use fusion3d_nerf::occupancy::OccupancyGrid;
 use fusion3d_nerf::pipeline::{trace_frame, FrameTrace};
 use fusion3d_nerf::sampler::SamplerConfig;
 use fusion3d_nerf::scenes::{LargeScene, ProceduralScene, SyntheticScene};
+use fusion3d_par::Pool;
 
 /// Resolution of the ground-truth occupancy grids used to drive the
 /// simulator traces.
@@ -60,6 +61,20 @@ pub fn large_scene_trace(scene: LargeScene) -> FrameTrace {
     trace_frame(&large_scene_occupancy(scene), &trace_camera(TRACE_RES), &trace_sampler())
 }
 
+/// Evaluates `work` on every scene in `scenes` across the worker
+/// pool, returning the results in scene order. The experiment tables
+/// sweep independent per-scene simulations, so the whole sweep fans
+/// out; the scene-order result vector keeps downstream averaging and
+/// printing identical to a serial loop for any `FUSION3D_THREADS`.
+pub fn for_each_scene<S, T, F>(scenes: &[S], work: F) -> Vec<T>
+where
+    S: Copy + Sync,
+    T: Send,
+    F: Fn(S) -> T + Sync,
+{
+    Pool::new().parallel_chunks(scenes.len(), 1, |index, _| work(scenes[index]))
+}
+
 /// Partitions a scene occupancy grid into `experts` per-chip gates,
 /// emulating the *partial* spatial specialization MoE training
 /// produces (Fig. 8: regions are dominated by one expert, but many are
@@ -100,12 +115,7 @@ pub fn partition_occupancy(full: &OccupancyGrid, experts: usize) -> Vec<Occupanc
 
 /// Formats one table row with fixed-width columns.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 /// Prints a titled table: a header row, a separator, and body rows.
@@ -181,6 +191,13 @@ mod tests {
         for p in &parts {
             assert!(p.occupancy_ratio() < full.occupancy_ratio());
         }
+    }
+
+    #[test]
+    fn for_each_scene_preserves_scene_order() {
+        let scenes = [1usize, 2, 3, 4, 5, 6, 7];
+        let out = for_each_scene(&scenes, |s| s * 10);
+        assert_eq!(out, vec![10, 20, 30, 40, 50, 60, 70]);
     }
 
     #[test]

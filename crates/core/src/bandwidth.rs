@@ -135,11 +135,7 @@ mod tests {
         let e2e = DesignBoundary::EndToEnd.offchip_bytes(&v);
         for b in [DesignBoundary::Stage2, DesignBoundary::Stages23, DesignBoundary::Stages12] {
             let partial = b.offchip_bytes(&v);
-            assert!(
-                partial > 10 * e2e,
-                "{}: {partial} should dwarf end-to-end {e2e}",
-                b.label()
-            );
+            assert!(partial > 10 * e2e, "{}: {partial} should dwarf end-to-end {e2e}", b.label());
         }
     }
 
@@ -150,8 +146,7 @@ mod tests {
         let bw = required_bandwidth_gbs(DesignBoundary::EndToEnd.offchip_bytes(&v), 2.0);
         assert!(bw < USB_BANDWIDTH_GBS, "end-to-end bandwidth {bw} GB/s");
         // Partial designs blow through it by an order of magnitude.
-        let partial =
-            required_bandwidth_gbs(DesignBoundary::Stages23.offchip_bytes(&v), 2.0);
+        let partial = required_bandwidth_gbs(DesignBoundary::Stages23.offchip_bytes(&v), 2.0);
         assert!(partial > 4.0, "partial design {partial} GB/s");
     }
 

@@ -104,13 +104,7 @@ impl FusionChip {
         // Stage III sized to match Stage II's point rate: the MAC
         // array retires one paper-scale point per interp point slot.
         let postproc = PostProcConfig::fusion3d(5312);
-        FusionChip {
-            energy: EnergyModel::new(config),
-            config,
-            sampling,
-            interp,
-            postproc,
-        }
+        FusionChip { energy: EnergyModel::new(config), config, sampling, interp, postproc }
     }
 
     /// The taped-out prototype chip.
@@ -200,9 +194,11 @@ impl FusionChip {
         let s1 = simulate_sampling(&self.sampling, &trace.workloads);
         let stages = StageCycles {
             sampling: s1.cycles,
-            interpolation: self
-                .interp
-                .cycles_for_points(trace.total_samples, trace.ray_count() as u64, PipelineMode::Inference),
+            interpolation: self.interp.cycles_for_points(
+                trace.total_samples,
+                trace.ray_count() as u64,
+                PipelineMode::Inference,
+            ),
             post_processing: self
                 .postproc
                 .frame_cycles(trace.total_samples, trace.ray_count() as u64),
@@ -216,9 +212,11 @@ impl FusionChip {
         let s1 = simulate_sampling(&self.sampling, &trace.workloads);
         let stages = StageCycles {
             sampling: s1.cycles,
-            interpolation: self
-                .interp
-                .cycles_for_points(trace.total_samples, trace.ray_count() as u64, PipelineMode::Training),
+            interpolation: self.interp.cycles_for_points(
+                trace.total_samples,
+                trace.ray_count() as u64,
+                PipelineMode::Training,
+            ),
             post_processing: self
                 .postproc
                 .training_cycles(trace.total_samples, trace.ray_count() as u64),
@@ -282,8 +280,8 @@ mod tests {
     fn prototype_is_half_rate() {
         let proto = FusionChip::prototype();
         let scaled = FusionChip::scaled_up();
-        let ratio = scaled.peak_inference_points_per_second()
-            / proto.peak_inference_points_per_second();
+        let ratio =
+            scaled.peak_inference_points_per_second() / proto.peak_inference_points_per_second();
         assert!((ratio - 2.0).abs() < 1e-9);
     }
 

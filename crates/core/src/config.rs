@@ -120,9 +120,7 @@ impl ChipConfig {
 
     /// Total on-chip SRAM in KB.
     pub fn total_sram_kb(&self) -> f64 {
-        self.memory_clusters as f64
-            * self.arrays_per_cluster as f64
-            * self.array_spec.kilobytes()
+        self.memory_clusters as f64 * self.arrays_per_cluster as f64 * self.array_spec.kilobytes()
             + self.support_sram_kb
     }
 
@@ -218,8 +216,8 @@ mod tests {
         assert_eq!(p.memory_clusters, 2);
         assert_eq!(p.typical_power_w, 1.21);
         // 2 clusters × 5 × 64 KB hash SRAM (the paper's "2×5×64 KB").
-        let cluster_kb = p.memory_clusters as f64 * p.arrays_per_cluster as f64
-            * p.array_spec.kilobytes();
+        let cluster_kb =
+            p.memory_clusters as f64 * p.arrays_per_cluster as f64 * p.array_spec.kilobytes();
         assert_eq!(cluster_kb, 640.0);
     }
 
@@ -275,8 +273,7 @@ mod tests {
 
     #[test]
     fn module_names_are_distinct() {
-        let names: std::collections::HashSet<&str> =
-            Module::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<&str> = Module::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), Module::ALL.len());
     }
 }

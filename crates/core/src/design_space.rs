@@ -43,7 +43,12 @@ impl DesignPoint {
 /// the interpolation module's share scales with its cores, the
 /// sampling module's with its cores, and dynamic power additionally
 /// scales with frequency.
-pub fn scale_config(base: &ChipConfig, interp_cores: usize, sampling_cores: usize, clock_mhz: f64) -> ChipConfig {
+pub fn scale_config(
+    base: &ChipConfig,
+    interp_cores: usize,
+    sampling_cores: usize,
+    clock_mhz: f64,
+) -> ChipConfig {
     assert!(interp_cores > 0 && sampling_cores > 0, "core counts must be positive");
     assert!(clock_mhz > 0.0, "clock must be positive");
     let interp_ratio = interp_cores as f64 / base.interp_cores as f64;

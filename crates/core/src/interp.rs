@@ -123,31 +123,43 @@ pub struct DatapathBlock {
 /// Directly-shared blocks total 87.4 % and the reconfigurable
 /// interpolation array 12.6 %, matching the paper's T2 ablation.
 pub const DATAPATH_BLOCKS: [DatapathBlock; 5] = [
-    DatapathBlock { name: "vertex coordinate generation", area_fraction: 0.141, directly_shared: true },
-    DatapathBlock { name: "feature index (hash) computation", area_fraction: 0.302, directly_shared: true },
-    DatapathBlock { name: "interpolation weight generation", area_fraction: 0.173, directly_shared: true },
-    DatapathBlock { name: "bank interface & accumulators", area_fraction: 0.258, directly_shared: true },
-    DatapathBlock { name: "reconfigurable interpolation array", area_fraction: 0.126, directly_shared: false },
+    DatapathBlock {
+        name: "vertex coordinate generation",
+        area_fraction: 0.141,
+        directly_shared: true,
+    },
+    DatapathBlock {
+        name: "feature index (hash) computation",
+        area_fraction: 0.302,
+        directly_shared: true,
+    },
+    DatapathBlock {
+        name: "interpolation weight generation",
+        area_fraction: 0.173,
+        directly_shared: true,
+    },
+    DatapathBlock {
+        name: "bank interface & accumulators",
+        area_fraction: 0.258,
+        directly_shared: true,
+    },
+    DatapathBlock {
+        name: "reconfigurable interpolation array",
+        area_fraction: 0.126,
+        directly_shared: false,
+    },
 ];
 
 /// Fraction of Stage II area directly shared between inference and
 /// training (the paper reports 87.4 %).
 pub fn shared_area_fraction() -> f64 {
-    DATAPATH_BLOCKS
-        .iter()
-        .filter(|b| b.directly_shared)
-        .map(|b| b.area_fraction)
-        .sum()
+    DATAPATH_BLOCKS.iter().filter(|b| b.directly_shared).map(|b| b.area_fraction).sum()
 }
 
 /// Fraction of Stage II area reused via reconfiguration (the paper
 /// reports 12.6 %).
 pub fn reconfigured_area_fraction() -> f64 {
-    DATAPATH_BLOCKS
-        .iter()
-        .filter(|b| !b.directly_shared)
-        .map(|b| b.area_fraction)
-        .sum()
+    DATAPATH_BLOCKS.iter().filter(|b| !b.directly_shared).map(|b| b.area_fraction).sum()
 }
 
 /// Area saving of the shared/reconfigurable pipeline versus

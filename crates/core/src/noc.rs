@@ -161,10 +161,7 @@ pub struct InterfaceReport {
 pub fn interface_load(trace: &FrameTrace, fps: f64) -> InterfaceReport {
     // Camera pose+intrinsics in (64 B) plus the rendered pixels out.
     let bytes = 64 + trace.ray_count() as u64 * DISPLAY_PIXEL_BYTES;
-    InterfaceReport {
-        bytes_per_frame: bytes,
-        required_gbs: bytes as f64 * fps / 1e9,
-    }
+    InterfaceReport { bytes_per_frame: bytes, required_gbs: bytes as f64 * fps / 1e9 }
 }
 
 #[cfg(test)]
@@ -238,11 +235,7 @@ mod tests {
         let rays = t.ray_count() as u64;
         let report = interface_load(&t, 36.0 * 64.0); // same pixels/s as 800^2 @ 36
         assert_eq!(report.bytes_per_frame, 64 + rays * 3);
-        assert!(
-            report.required_gbs < 0.625,
-            "interface needs {} GB/s",
-            report.required_gbs
-        );
+        assert!(report.required_gbs < 0.625, "interface needs {} GB/s", report.required_gbs);
     }
 
     #[test]

@@ -187,11 +187,8 @@ pub fn simulate_sampling(
     let intersect_cycles = config.intersection.cycles_per_ray(config.preproc_alus);
     // The normalized mode has a dedicated pipelined pre-processing
     // unit; the general mode computes intersections on the core.
-    let (preproc_per_ray, oncore_intersect) = if config.partitioned() {
-        (intersect_cycles, 0)
-    } else {
-        (0, intersect_cycles)
-    };
+    let (preproc_per_ray, oncore_intersect) =
+        if config.partitioned() { (intersect_cycles, 0) } else { (0, intersect_cycles) };
 
     let mut result = SamplingSimResult {
         cycles: 0,
@@ -216,9 +213,8 @@ pub fn simulate_sampling(
                 let start = batch_start.max(ready_t);
                 let mut makespan = 0u64;
                 for w in batch {
-                    let march: u64 = pair_iter(w)
-                        .map(|(s, t, l)| config.pair_march_cycles(s, t, l))
-                        .sum();
+                    let march: u64 =
+                        pair_iter(w).map(|(s, t, l)| config.pair_march_cycles(s, t, l)).sum();
                     let job = if w.valid_pairs > 0 {
                         oncore_intersect + march + config.job_overhead
                     } else {
@@ -270,9 +266,7 @@ pub fn simulate_sampling(
                 let dispatch = free_times[k - 1].max(ready_t);
                 let mut chosen: Vec<usize> = (0..config.cores).collect();
                 chosen.sort_unstable_by_key(|&c| core_free[c]);
-                for ((pair_idx, (s, t, l)), &core) in
-                    pair_iter(w).enumerate().zip(chosen.iter())
-                {
+                for ((pair_idx, (s, t, l)), &core) in pair_iter(w).enumerate().zip(chosen.iter()) {
                     let mut job = config.pair_march_cycles(s, t, l) + config.job_overhead;
                     if pair_idx == 0 {
                         job += oncore_intersect;

@@ -49,11 +49,8 @@ pub fn project_stacked(base: &ChipConfig) -> StackedProjection {
     let logic_area_mm2 = base.die_area_mm2 - interp_area * INTERP_SRAM_FRACTION - cluster_area;
     // Stage II throughput: cores/levels points per cycle at the new
     // clock (Stage III is re-matched, as in the base methodology).
-    let base_pts =
-        base.interp_points_per_cycle() * base.cycles_per_second();
-    let inference_pts = (interp_cores as f64 / base.model_levels as f64)
-        * clock_mhz
-        * 1e6;
+    let base_pts = base.interp_points_per_cycle() * base.cycles_per_second();
+    let inference_pts = (interp_cores as f64 / base.model_levels as f64) * clock_mhz * 1e6;
     StackedProjection {
         interp_cores,
         clock_mhz,
@@ -86,10 +83,7 @@ pub struct TapeoutCost {
 /// Tapeout accounting for a planar system: one compute-die mask plus
 /// one I/O-die mask; every die carries its own SRAM.
 pub fn planar_tapeout(chips: usize, chip_area_mm2: f64, io_area_mm2: f64) -> TapeoutCost {
-    TapeoutCost {
-        mask_sets: 2,
-        total_area_mm2: chips as f64 * chip_area_mm2 + io_area_mm2,
-    }
+    TapeoutCost { mask_sets: 2, total_area_mm2: chips as f64 * chip_area_mm2 + io_area_mm2 }
 }
 
 /// Tapeout accounting for a stacked system: compute-logic mask, I/O

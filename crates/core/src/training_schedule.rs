@@ -75,8 +75,7 @@ impl TrainingPlan {
     /// operating mode — its Fig. 3 budget streams ~700 MB *during*
     /// the 2-second run.
     pub fn overlapped_seconds(&self) -> f64 {
-        self.input_seconds.max(self.step_seconds + self.occupancy_seconds)
-            + self.output_seconds
+        self.input_seconds.max(self.step_seconds + self.occupancy_seconds) + self.output_seconds
     }
 
     /// Whether the overlapped run fits a wall-clock budget.
@@ -103,8 +102,7 @@ pub fn plan_training(
     let refreshes = (recipe.iterations / recipe.occupancy_interval) as f64;
     // A refresh evaluates density for each cell: one point through the
     // inference pipeline per cell, at the chip's peak inference rate.
-    let refresh_seconds =
-        recipe.occupancy_cells as f64 / chip.peak_inference_points_per_second();
+    let refresh_seconds = recipe.occupancy_cells as f64 / chip.peak_inference_points_per_second();
     TrainingPlan {
         input_seconds: recipe.input_bytes as f64 / recipe.offchip_bytes_per_sec,
         step_seconds: step.seconds * recipe.iterations as f64,
@@ -161,21 +159,12 @@ mod tests {
 
     #[test]
     fn prototype_is_roughly_twice_as_slow() {
-        let scaled = plan_training(
-            &FusionChip::scaled_up(),
-            &paper_batch(),
-            &TrainingRecipe::paper_scale(),
-        );
-        let proto = plan_training(
-            &FusionChip::prototype(),
-            &paper_batch(),
-            &TrainingRecipe::paper_scale(),
-        );
+        let scaled =
+            plan_training(&FusionChip::scaled_up(), &paper_batch(), &TrainingRecipe::paper_scale());
+        let proto =
+            plan_training(&FusionChip::prototype(), &paper_batch(), &TrainingRecipe::paper_scale());
         let ratio = proto.step_seconds / scaled.step_seconds;
-        assert!(
-            (1.6..=2.4).contains(&ratio),
-            "prototype/scaled step ratio {ratio}"
-        );
+        assert!((1.6..=2.4).contains(&ratio), "prototype/scaled step ratio {ratio}");
         // The prototype's measured 1.8 s to 25 PSNR corresponds to a
         // smaller sample budget; at the full paper budget it lands in
         // the 3-5 s band.
@@ -204,10 +193,7 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         let chip = FusionChip::prototype();
-        let recipe = TrainingRecipe {
-            offchip_bytes_per_sec: 0.0,
-            ..TrainingRecipe::paper_scale()
-        };
+        let recipe = TrainingRecipe { offchip_bytes_per_sec: 0.0, ..TrainingRecipe::paper_scale() };
         plan_training(&chip, &paper_batch(), &recipe);
     }
 }

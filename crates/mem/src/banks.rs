@@ -220,7 +220,8 @@ mod tests {
         (0..n)
             .map(|_| {
                 let mut next = || {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     (state >> 33) as u32 & 0xFFFFF
                 };
                 [next(), next(), next()]

@@ -40,8 +40,7 @@ pub struct AccessCounts {
 impl AccessCounts {
     /// Energy in joules for this mix on an array of `bytes` capacity.
     pub fn energy_j(&self, bytes: u64) -> f64 {
-        (self.reads as f64 * read_energy_pj(bytes)
-            + self.writes as f64 * write_energy_pj(bytes))
+        (self.reads as f64 * read_energy_pj(bytes) + self.writes as f64 * write_energy_pj(bytes))
             * 1e-12
     }
 }
@@ -49,12 +48,7 @@ impl AccessCounts {
 /// Stage-II feature-memory energy for one frame: every sample gathers
 /// eight corners on every level (reads); training additionally
 /// read-modify-writes each corner on the backward pass.
-pub fn feature_memory_energy_j(
-    samples: u64,
-    levels: u64,
-    bank_bytes: u64,
-    training: bool,
-) -> f64 {
+pub fn feature_memory_energy_j(samples: u64, levels: u64, bank_bytes: u64, training: bool) -> f64 {
     let gathers = samples * levels * 8;
     let counts = if training {
         AccessCounts { reads: gathers * 2, writes: gathers }
@@ -107,10 +101,7 @@ mod tests {
         // Clusters + interpolation-SRAM budget (a few hundred mW).
         let pts_per_s = 295e6_f64;
         let e_per_s = feature_memory_energy_j(pts_per_s as u64, 10, 8 * 1024, false);
-        assert!(
-            (0.05..=0.6).contains(&e_per_s),
-            "feature memory power {e_per_s} W out of band"
-        );
+        assert!((0.05..=0.6).contains(&e_per_s), "feature memory power {e_per_s} W out of band");
     }
 
     #[test]

@@ -34,10 +34,7 @@ pub fn crossbar(ports: u32, width_bits: u32) -> InterconnectCost {
 /// single cycle with no arbitration.
 pub fn one_to_one(ports: u32, width_bits: u32) -> InterconnectCost {
     assert!(ports > 0 && width_bits > 0, "interconnect dimensions must be positive");
-    InterconnectCost {
-        area: (ports * width_bits) as f64 * 0.5,
-        latency_cycles: 1,
-    }
+    InterconnectCost { area: (ports * width_bits) as f64 * 0.5, latency_cycles: 1 }
 }
 
 /// Comparison of the two interconnects for the Stage-II bank fabric —
@@ -97,11 +94,7 @@ mod tests {
         let cmp = compare(STAGE2_PORTS, STAGE2_WIDTH_BITS);
         // Fig. 12(b): the one-to-one fabric is a small fraction of the
         // crossbar. Structurally the saving is ~1 − 1/(2·ports).
-        assert!(
-            cmp.area_saving > 0.85,
-            "area saving {} too small",
-            cmp.area_saving
-        );
+        assert!(cmp.area_saving > 0.85, "area saving {} too small", cmp.area_saving);
         assert_eq!(cmp.latency_saving_cycles, 1);
     }
 

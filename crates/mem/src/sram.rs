@@ -189,9 +189,7 @@ impl MemoryCluster {
     /// Panics if `count` is zero.
     pub fn new(count: usize, spec: SramSpec) -> Self {
         assert!(count > 0, "a cluster needs at least one bank");
-        MemoryCluster {
-            banks: (0..count).map(|_| SramBank::new(spec)).collect(),
-        }
+        MemoryCluster { banks: (0..count).map(|_| SramBank::new(spec)).collect() }
     }
 
     /// The banks of the cluster.

@@ -76,10 +76,7 @@ fn imbalance(loads: &[u64]) -> f64 {
 pub fn rebalance_gates(gates: &mut [OccupancyGrid], tolerance: f64) -> usize {
     assert!(!gates.is_empty(), "need at least one gate");
     let resolution = gates[0].resolution();
-    assert!(
-        gates.iter().all(|g| g.resolution() == resolution),
-        "gates must share a resolution"
-    );
+    assert!(gates.iter().all(|g| g.resolution() == resolution), "gates must share a resolution");
     let mut moved = 0;
     loop {
         let loads: Vec<usize> = gates.iter().map(|g| g.occupied_cells().count()).collect();
@@ -87,18 +84,13 @@ pub fn rebalance_gates(gates: &mut [OccupancyGrid], tolerance: f64) -> usize {
             loads.iter().enumerate().max_by_key(|(_, &l)| l).expect("non-empty");
         let (light, &light_load) =
             loads.iter().enumerate().min_by_key(|(_, &l)| l).expect("non-empty");
-        if heavy == light
-            || heavy_load as f64 <= (light_load as f64 + 1.0) * (1.0 + tolerance)
-        {
+        if heavy == light || heavy_load as f64 <= (light_load as f64 + 1.0) * (1.0 + tolerance) {
             return moved;
         }
         // Move one cell owned *only* by the heavy gate (moving a
         // shared cell would change nothing or lose coverage).
         let candidate = gates[heavy].occupied_cells().find(|&cell| {
-            gates
-                .iter()
-                .enumerate()
-                .all(|(i, g)| i == heavy || !g.is_cell_occupied(cell))
+            gates.iter().enumerate().all(|(i, g)| i == heavy || !g.is_cell_occupied(cell))
         });
         match candidate {
             Some(cell) => {
@@ -205,14 +197,10 @@ mod tests {
     #[test]
     fn rebalanced_gates_balance_real_traces() {
         // A lopsided scene: geometry concentrated in one octant.
-        let full = OccupancyGrid::from_oracle(12, 0.0, |p| {
-            p.distance(Vec3::new(0.25, 0.4, 0.25)) < 0.22
-        });
+        let full =
+            OccupancyGrid::from_oracle(12, 0.0, |p| p.distance(Vec3::new(0.25, 0.4, 0.25)) < 0.22);
         // Naive partition: split by X half — one side gets everything.
-        let mut gates = [
-            OccupancyGrid::new(12, 0.0),
-            OccupancyGrid::new(12, 0.0),
-        ];
+        let mut gates = [OccupancyGrid::new(12, 0.0), OccupancyGrid::new(12, 0.0)];
         for cell in full.occupied_cells() {
             let c = full.cell_center(cell);
             let owner = usize::from(c.x >= 0.5);
@@ -221,12 +209,8 @@ mod tests {
         let before: Vec<usize> = gates.iter().map(|g| g.occupied_cells().count()).collect();
         assert!(imbalance(&before.iter().map(|&c| c as u64).collect::<Vec<_>>()) > 1.5);
         rebalance_gates(&mut gates, 0.1);
-        let after: Vec<u64> =
-            gates.iter().map(|g| g.occupied_cells().count() as u64).collect();
-        assert!(
-            imbalance(&after) < 1.15,
-            "rebalancing failed: {after:?}"
-        );
+        let after: Vec<u64> = gates.iter().map(|g| g.occupied_cells().count() as u64).collect();
+        assert!(imbalance(&after) < 1.15, "rebalancing failed: {after:?}");
     }
 
     #[test]

@@ -79,12 +79,7 @@ mod tests {
     /// A paper-scale frame: 800×800 rays, ~13 samples per ray,
     /// 20-dimensional features.
     fn paper_frame(training: bool) -> FrameWorkload {
-        FrameWorkload {
-            rays: 800 * 800,
-            samples: 800 * 800 * 13,
-            feature_dim: 20,
-            training,
-        }
+        FrameWorkload { rays: 800 * 800, samples: 800 * 800 * 13, feature_dim: 20, training }
     }
 
     #[test]

@@ -115,8 +115,7 @@ impl SystemReport {
             return 1.0;
         }
         let max = self.chip_seconds.iter().cloned().fold(0.0, f64::max);
-        let mean: f64 =
-            self.chip_seconds.iter().sum::<f64>() / self.chip_seconds.len() as f64;
+        let mean: f64 = self.chip_seconds.iter().sum::<f64>() / self.chip_seconds.len() as f64;
         if mean > 0.0 {
             max / mean
         } else {
@@ -173,11 +172,7 @@ impl MultiChipSystem {
         config: MultiChipConfig,
         per_chip_gather_cycles: &[f64],
     ) -> Self {
-        assert_eq!(
-            per_chip_gather_cycles.len(),
-            config.chips,
-            "need one gather factor per chip"
-        );
+        assert_eq!(per_chip_gather_cycles.len(), config.chips, "need one gather factor per chip");
         let chips = per_chip_gather_cycles
             .iter()
             .map(|&g| FusionChip::new(config.chip).with_mean_gather_cycles(g))
@@ -216,11 +211,7 @@ impl MultiChipSystem {
         per_chip_workloads: &[Vec<RayWorkload>],
         training: bool,
     ) -> SystemReport {
-        assert_eq!(
-            per_chip_workloads.len(),
-            self.chips.len(),
-            "need one workload per chip"
-        );
+        assert_eq!(per_chip_workloads.len(), self.chips.len(), "need one workload per chip");
         let mut chip_seconds = Vec::with_capacity(self.chips.len());
         let mut total_points = 0u64;
         let mut rays = 0u64;
@@ -245,12 +236,7 @@ impl MultiChipSystem {
         }
         // Fusion traffic: ray broadcast + per-chip pixel partial sums.
         let comm = moe_bytes(
-            &FrameWorkload {
-                rays,
-                samples: total_points,
-                feature_dim: 20,
-                training,
-            },
+            &FrameWorkload { rays, samples: total_points, feature_dim: 20, training },
             self.chips.len() as u64,
         );
         let comm_seconds = self.config.link.intra_transfer_seconds(comm);
@@ -280,9 +266,7 @@ mod tests {
     }
 
     fn uniform_chip_workloads(chips: usize, rays: usize, samples: u16) -> Vec<Vec<RayWorkload>> {
-        (0..chips)
-            .map(|_| (0..rays).map(|_| workload(samples + 4, samples)).collect())
-            .collect()
+        (0..chips).map(|_| (0..rays).map(|_| workload(samples + 4, samples)).collect()).collect()
     }
 
     #[test]

@@ -55,12 +55,7 @@ pub struct Adam {
 impl Adam {
     /// Creates optimizer state for `param_count` parameters.
     pub fn new(config: AdamConfig, param_count: usize) -> Self {
-        Adam {
-            config,
-            m: vec![0.0; param_count],
-            v: vec![0.0; param_count],
-            t: 0,
-        }
+        Adam { config, m: vec![0.0; param_count], v: vec![0.0; param_count], t: 0 }
     }
 
     /// The optimizer configuration.
@@ -126,10 +121,7 @@ mod tests {
     fn minimizes_a_quadratic() {
         // f(x) = (x - 3)^2, df/dx = 2(x - 3).
         let mut params = vec![0.0f32];
-        let mut opt = Adam::new(
-            AdamConfig { learning_rate: 0.1, ..AdamConfig::default() },
-            1,
-        );
+        let mut opt = Adam::new(AdamConfig { learning_rate: 0.1, ..AdamConfig::default() }, 1);
         for _ in 0..500 {
             let g = 2.0 * (params[0] - 3.0);
             opt.step(&mut params, &[g]);
@@ -171,11 +163,7 @@ mod tests {
 
     #[test]
     fn weight_decay_pulls_toward_zero() {
-        let cfg = AdamConfig {
-            learning_rate: 0.05,
-            weight_decay: 0.1,
-            ..AdamConfig::default()
-        };
+        let cfg = AdamConfig { learning_rate: 0.05, weight_decay: 0.1, ..AdamConfig::default() };
         let mut params = vec![5.0f32];
         let mut opt = Adam::new(cfg, 1);
         for _ in 0..200 {

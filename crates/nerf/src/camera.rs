@@ -28,9 +28,7 @@ impl Pose {
     /// Panics if `eye == target` or if `up` is parallel to the view
     /// direction (the frame would be degenerate).
     pub fn look_at(eye: Vec3, target: Vec3, up_hint: Vec3) -> Self {
-        let forward = (target - eye)
-            .try_normalize()
-            .expect("look_at requires eye != target");
+        let forward = (target - eye).try_normalize().expect("look_at requires eye != target");
         let right = forward
             .cross(up_hint)
             .try_normalize()
@@ -118,10 +116,7 @@ impl Camera {
     /// Panics in debug builds when the pixel is out of range.
     pub fn ray_for_pixel(&self, x: u32, y: u32) -> Ray {
         debug_assert!(x < self.width && y < self.height, "pixel out of range");
-        self.ray_for_uv(
-            (x as f32 + 0.5) / self.width as f32,
-            (y as f32 + 0.5) / self.height as f32,
-        )
+        self.ray_for_uv((x as f32 + 0.5) / self.width as f32, (y as f32 + 0.5) / self.height as f32)
     }
 
     /// Generates the ray through normalized image coordinates

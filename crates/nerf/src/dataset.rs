@@ -46,10 +46,7 @@ impl Dataset {
                 View { camera, image }
             })
             .collect();
-        Dataset {
-            views,
-            background: scene.background(),
-        }
+        Dataset { views, background: scene.background() }
     }
 
     /// Builds a dataset from explicit views (used in tests).
@@ -98,14 +95,8 @@ impl Dataset {
                 train.push(view);
             }
         }
-        assert!(
-            !train.is_empty() && !test.is_empty(),
-            "split left an empty set; use more views"
-        );
-        (
-            Dataset { views: train, background },
-            Dataset { views: test, background },
-        )
+        assert!(!train.is_empty() && !test.is_empty(), "split left an empty set; use more views");
+        (Dataset { views: train, background }, Dataset { views: test, background })
     }
 
     /// Draws a uniformly random training ray and its target color.
@@ -178,12 +169,8 @@ mod tests {
 
     #[test]
     fn split_partitions_views() {
-        let ds = Dataset::from_scene(
-            &ProceduralScene::synthetic(SyntheticScene::Hotdog),
-            6,
-            12,
-            0.8,
-        );
+        let ds =
+            Dataset::from_scene(&ProceduralScene::synthetic(SyntheticScene::Hotdog), 6, 12, 0.8);
         let total = ds.views().len();
         let (train, test) = ds.split(3);
         assert_eq!(train.views().len() + test.views().len(), total);

@@ -28,7 +28,11 @@ use rand::Rng;
 /// (TensoRF/RT-NeRF-class). [`crate::model::NerfModel`] is generic
 /// over this trait, which is what lets the paper's modules transfer
 /// across NeRF pipelines (Sec. VI-C).
-pub trait Encoding: std::fmt::Debug {
+///
+/// `Send + Sync` is required so models can be shared immutably across
+/// the worker threads of [`fusion3d_par::Pool`] during parallel
+/// rendering and sharded-gradient training.
+pub trait Encoding: std::fmt::Debug + Send + Sync {
     /// Dimension of the encoded feature vector.
     fn output_dim(&self) -> usize;
 
@@ -157,10 +161,7 @@ impl HashGridConfig {
             return Err("features_per_level must be at least 1".into());
         }
         if self.log2_table_size == 0 || self.log2_table_size > 31 {
-            return Err(format!(
-                "log2_table_size must be in 1..=31, got {}",
-                self.log2_table_size
-            ));
+            return Err(format!("log2_table_size must be in 1..=31, got {}", self.log2_table_size));
         }
         if self.base_resolution == 0 {
             return Err("base_resolution must be at least 1".into());
@@ -210,11 +211,7 @@ impl HashGrid {
     pub fn new(config: HashGridConfig) -> Self {
         config.validate().expect("invalid hash grid config");
         let resolutions = (0..config.levels).map(|l| config.level_resolution(l)).collect();
-        HashGrid {
-            config,
-            resolutions,
-            params: vec![0.0; config.param_count()],
-        }
+        HashGrid { config, resolutions, params: vec![0.0; config.param_count()] }
     }
 
     /// Creates a grid with features drawn uniformly from
@@ -306,11 +303,9 @@ impl HashGrid {
             let offset = self.level_offset(level);
             for (i, &corner) in corners.iter().enumerate() {
                 let w = Self::corner_weight(frac, i);
-                let addr = vertex_address(
-                    corner,
-                    self.resolutions[level],
-                    self.config.log2_table_size,
-                ) as usize;
+                let addr =
+                    vertex_address(corner, self.resolutions[level], self.config.log2_table_size)
+                        as usize;
                 let slot = offset + addr * f;
                 for (o, &v) in level_out.iter_mut().zip(&self.params[slot..slot + f]) {
                     *o += w * v;
@@ -345,11 +340,9 @@ impl HashGrid {
             let offset = self.level_offset(level);
             for (i, &corner) in corners.iter().enumerate() {
                 let w = Self::corner_weight(frac, i);
-                let addr = vertex_address(
-                    corner,
-                    self.resolutions[level],
-                    self.config.log2_table_size,
-                ) as usize;
+                let addr =
+                    vertex_address(corner, self.resolutions[level], self.config.log2_table_size)
+                        as usize;
                 let slot = offset + addr * f;
                 for (g, &d) in grads[slot..slot + f].iter_mut().zip(d_level) {
                     *g += w * d;
@@ -450,21 +443,11 @@ mod tests {
     #[test]
     fn validation_rejects_bad_configs() {
         assert!(HashGridConfig { levels: 0, ..small_config() }.validate().is_err());
-        assert!(HashGridConfig { features_per_level: 0, ..small_config() }
-            .validate()
-            .is_err());
-        assert!(HashGridConfig { log2_table_size: 0, ..small_config() }
-            .validate()
-            .is_err());
-        assert!(HashGridConfig { log2_table_size: 40, ..small_config() }
-            .validate()
-            .is_err());
-        assert!(HashGridConfig { base_resolution: 0, ..small_config() }
-            .validate()
-            .is_err());
-        assert!(HashGridConfig { max_resolution: 2, ..small_config() }
-            .validate()
-            .is_err());
+        assert!(HashGridConfig { features_per_level: 0, ..small_config() }.validate().is_err());
+        assert!(HashGridConfig { log2_table_size: 0, ..small_config() }.validate().is_err());
+        assert!(HashGridConfig { log2_table_size: 40, ..small_config() }.validate().is_err());
+        assert!(HashGridConfig { base_resolution: 0, ..small_config() }.validate().is_err());
+        assert!(HashGridConfig { max_resolution: 2, ..small_config() }.validate().is_err());
         assert!(small_config().validate().is_ok());
     }
 
@@ -558,9 +541,13 @@ mod tests {
         for a in &trace {
             assert!((a.level as usize) < grid.config().levels);
             assert!(a.corner < 8);
-            assert!((a.address as usize) < grid.config().table_size().max(
-                (grid.resolutions()[a.level as usize] as usize + 1).pow(3)
-            ));
+            assert!(
+                (a.address as usize)
+                    < grid
+                        .config()
+                        .table_size()
+                        .max((grid.resolutions()[a.level as usize] as usize + 1).pow(3))
+            );
         }
     }
 

@@ -47,8 +47,7 @@ pub type GridVertex = [u32; 3];
 #[inline]
 pub fn spatial_hash(v: GridVertex, log2_table_size: u32) -> u32 {
     debug_assert!(log2_table_size <= 31, "table size exponent too large");
-    let h = v[0]
-        .wrapping_mul(HASH_PRIMES[0])
+    let h = v[0].wrapping_mul(HASH_PRIMES[0])
         ^ v[1].wrapping_mul(HASH_PRIMES[1])
         ^ v[2].wrapping_mul(HASH_PRIMES[2]);
     h & ((1u32 << log2_table_size) - 1)
@@ -168,10 +167,7 @@ mod tests {
         // Dense level: address equals dense index.
         assert_eq!(vertex_address([1, 2, 3], 15, 12), dense_index([1, 2, 3], 15));
         // Hashed level: address equals the spatial hash.
-        assert_eq!(
-            vertex_address([1, 2, 3], 1024, 12),
-            spatial_hash([1, 2, 3], 12)
-        );
+        assert_eq!(vertex_address([1, 2, 3], 1024, 12), spatial_hash([1, 2, 3], 12));
     }
 
     #[test]
@@ -210,10 +206,8 @@ mod tests {
         let mut count: u64 = 0;
         for seed in 0..200u32 {
             let base = [seed * 37 + 1, seed * 91 + 5, seed * 53 + 11];
-            let addrs: Vec<u32> = cell_corners(base)
-                .iter()
-                .map(|&c| spatial_hash(c, log2))
-                .collect();
+            let addrs: Vec<u32> =
+                cell_corners(base).iter().map(|&c| spatial_hash(c, log2)).collect();
             for i in 0..8 {
                 for j in (i + 1)..8 {
                     if yz_group(i) != yz_group(j) {
@@ -225,10 +219,7 @@ mod tests {
             }
         }
         let avg = total as f64 / count as f64;
-        assert!(
-            avg > table as f64 / 8.0,
-            "YZ-offset spread too small: {avg} of {table}"
-        );
+        assert!(avg > table as f64 / 8.0, "YZ-offset spread too small: {avg} of {table}");
     }
 
     proptest! {

@@ -23,11 +23,7 @@ impl Image {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        Image {
-            width,
-            height,
-            pixels: vec![Vec3::ZERO; (width * height) as usize],
-        }
+        Image { width, height, pixels: vec![Vec3::ZERO; (width * height) as usize] }
     }
 
     /// Creates an image filled with `color`.
@@ -266,17 +262,10 @@ mod tests {
 /// Panics if the images differ in size or are smaller than one 8×8
 /// window.
 pub fn ssim(a: &Image, b: &Image) -> f64 {
-    assert_eq!(
-        (a.width(), a.height()),
-        (b.width(), b.height()),
-        "image dimensions differ"
-    );
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "image dimensions differ");
     const WIN: u32 = 8;
     const STRIDE: u32 = 4;
-    assert!(
-        a.width() >= WIN && a.height() >= WIN,
-        "images must be at least {WIN}x{WIN}"
-    );
+    assert!(a.width() >= WIN && a.height() >= WIN, "images must be at least {WIN}x{WIN}");
     let luma = |img: &Image, x: u32, y: u32| -> f64 {
         let p = img.get(x, y);
         0.2126 * p.x as f64 + 0.7152 * p.y as f64 + 0.0722 * p.z as f64

@@ -83,10 +83,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "not a Fusion-3D model container"),
             DecodeError::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
             DecodeError::BadPrecision(t) => write!(f, "unknown precision tag {t}"),
-            DecodeError::ShapeMismatch { expected, found } => write!(
-                f,
-                "parameter shape mismatch: expected {expected:?}, found {found:?}"
-            ),
+            DecodeError::ShapeMismatch { expected, found } => {
+                write!(f, "parameter shape mismatch: expected {expected:?}, found {found:?}")
+            }
         }
     }
 }
@@ -117,9 +116,7 @@ impl Writer {
             }
             Precision::F16 => {
                 for v in values {
-                    self.0.extend_from_slice(
-                        &fusion3d_arith_f16_bits(*v).to_le_bytes(),
-                    );
+                    self.0.extend_from_slice(&fusion3d_arith_f16_bits(*v).to_le_bytes());
                 }
             }
         }
@@ -216,11 +213,7 @@ impl<'a> Reader<'a> {
     fn f32(&mut self) -> Result<f32, DecodeError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
     }
-    fn params(
-        &mut self,
-        out: &mut [f32],
-        precision: Precision,
-    ) -> Result<(), DecodeError> {
+    fn params(&mut self, out: &mut [f32], precision: Precision) -> Result<(), DecodeError> {
         match precision {
             Precision::F32 => {
                 for v in out.iter_mut() {
@@ -244,9 +237,7 @@ pub fn encode_model<E: Encoding>(
     occupancy: &OccupancyGrid,
     precision: Precision,
 ) -> Vec<u8> {
-    let mut w = Writer(Vec::with_capacity(
-        64 + model.param_count() * precision.bytes_per_param(),
-    ));
+    let mut w = Writer(Vec::with_capacity(64 + model.param_count() * precision.bytes_per_param()));
     w.0.extend_from_slice(&MAGIC);
     w.u16(VERSION);
     w.0.push(precision.tag());
@@ -333,8 +324,7 @@ pub fn container_size<E: Encoding>(
 ) -> usize {
     // Header: 4 magic + 2 version + 2 flags + 4 geo + 24 counts +
     // 4 resolution + 4 threshold.
-    44 + occupancy.cell_count().div_ceil(8)
-        + model.param_count() * precision.bytes_per_param()
+    44 + occupancy.cell_count().div_ceil(8) + model.param_count() * precision.bytes_per_param()
 }
 
 #[cfg(test)]
@@ -393,8 +383,7 @@ mod tests {
         let occ = test_occupancy();
         let full = encode_model(&model, &occ, Precision::F32);
         let half = encode_model(&model, &occ, Precision::F16);
-        let header = container_size(&model, &occ, Precision::F32)
-            - model.param_count() * 4;
+        let header = container_size(&model, &occ, Precision::F32) - model.param_count() * 4;
         assert_eq!(full.len() - header, 2 * (half.len() - header));
     }
 
@@ -434,30 +423,18 @@ mod tests {
         // Bad magic.
         let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert!(matches!(
-            decode_model_into(&bad, &mut m),
-            Err(DecodeError::BadMagic)
-        ));
+        assert!(matches!(decode_model_into(&bad, &mut m), Err(DecodeError::BadMagic)));
         // Bad version.
         let mut bad = bytes.clone();
         bad[4] = 9;
-        assert!(matches!(
-            decode_model_into(&bad, &mut m),
-            Err(DecodeError::UnsupportedVersion(_))
-        ));
+        assert!(matches!(decode_model_into(&bad, &mut m), Err(DecodeError::UnsupportedVersion(_))));
         // Bad precision tag.
         let mut bad = bytes.clone();
         bad[6] = 7;
-        assert!(matches!(
-            decode_model_into(&bad, &mut m),
-            Err(DecodeError::BadPrecision(7))
-        ));
+        assert!(matches!(decode_model_into(&bad, &mut m), Err(DecodeError::BadPrecision(7))));
         // Truncation.
         let bad = &bytes[..bytes.len() - 3];
-        assert!(matches!(
-            decode_model_into(bad, &mut m),
-            Err(DecodeError::Truncated)
-        ));
+        assert!(matches!(decode_model_into(bad, &mut m), Err(DecodeError::Truncated)));
         // Shape mismatch.
         let mut rng = SmallRng::seed_from_u64(8);
         let mut other = NerfModel::new(
@@ -522,13 +499,9 @@ mod f16_conversion_tests {
 
     #[test]
     fn known_values_round_trip() {
-        for (v, bits) in [
-            (0.0f32, 0x0000u16),
-            (1.0, 0x3C00),
-            (-2.0, 0xC000),
-            (0.5, 0x3800),
-            (65504.0, 0x7BFF),
-        ] {
+        for (v, bits) in
+            [(0.0f32, 0x0000u16), (1.0, 0x3C00), (-2.0, 0xC000), (0.5, 0x3800), (65504.0, 0x7BFF)]
+        {
             assert_eq!(fusion3d_arith_f16_bits(v), bits, "{v}");
             assert_eq!(f16_bits_to_f32(bits), v, "{bits:#x}");
         }

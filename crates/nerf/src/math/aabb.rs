@@ -206,10 +206,7 @@ impl Aabb {
     #[inline]
     pub fn normalize_ray(&self, ray: &Ray) -> Ray {
         let (scale, offset) = self.normalization();
-        Ray::new(
-            (ray.origin - offset).hadamard(scale),
-            ray.direction.hadamard(scale),
-        )
+        Ray::new((ray.origin - offset).hadamard(scale), ray.direction.hadamard(scale))
     }
 
     /// General slab-method ray–box intersection against an arbitrary
@@ -378,22 +375,14 @@ mod tests {
     fn general_intersection_cases() {
         let b = Aabb::unit_cube();
         // Straight through the middle.
-        let hit = b
-            .intersect_general(&Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X))
-            .unwrap();
+        let hit = b.intersect_general(&Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X)).unwrap();
         assert_span_close(hit, 1.0, 2.0);
         // Miss to the side.
-        assert!(b
-            .intersect_general(&Ray::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::X))
-            .is_none());
+        assert!(b.intersect_general(&Ray::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::X)).is_none());
         // Box entirely behind the origin.
-        assert!(b
-            .intersect_general(&Ray::new(Vec3::new(3.0, 0.5, 0.5), Vec3::X))
-            .is_none());
+        assert!(b.intersect_general(&Ray::new(Vec3::new(3.0, 0.5, 0.5), Vec3::X)).is_none());
         // Origin inside the box: near clamps to zero.
-        let inside = b
-            .intersect_general(&Ray::new(Vec3::splat(0.5), Vec3::X))
-            .unwrap();
+        let inside = b.intersect_general(&Ray::new(Vec3::splat(0.5), Vec3::X)).unwrap();
         assert_span_close(inside, 0.0, 0.5);
     }
 

@@ -51,11 +51,7 @@ impl Ray {
     /// `±inf`, which the slab method handles correctly.
     #[inline]
     pub fn inv_direction(&self) -> Vec3 {
-        Vec3::new(
-            1.0 / self.direction.x,
-            1.0 / self.direction.y,
-            1.0 / self.direction.z,
-        )
+        Vec3::new(1.0 / self.direction.x, 1.0 / self.direction.y, 1.0 / self.direction.z)
     }
 }
 

@@ -94,9 +94,7 @@ impl MlpCache {
 
     /// Creates a cache pre-sized for `mlp`.
     pub fn for_mlp(mlp: &Mlp) -> Self {
-        MlpCache {
-            activations: mlp.dims.iter().map(|&d| vec![0.0; d]).collect(),
-        }
+        MlpCache { activations: mlp.dims.iter().map(|&d| vec![0.0; d]).collect() }
     }
 
     /// The network output stored by the last `forward` call.
@@ -135,12 +133,7 @@ impl Mlp {
             }
             params.extend(std::iter::repeat_n(0.0, fan_out));
         }
-        Mlp {
-            dims: dims.to_vec(),
-            params,
-            hidden_activation,
-            output_activation,
-        }
+        Mlp { dims: dims.to_vec(), params, hidden_activation, output_activation }
     }
 
     /// Layer dimensions, input first.
@@ -312,17 +305,15 @@ impl Mlp {
         assert_eq!(d_output.len(), self.output_dim(), "output gradient size mismatch");
         assert_eq!(d_input.len(), self.input_dim(), "input gradient size mismatch");
         assert_eq!(grads.len(), self.params.len(), "parameter gradient size mismatch");
-        assert_eq!(
-            cache.activations.len(),
-            self.dims.len(),
-            "cache does not match network"
-        );
+        assert_eq!(cache.activations.len(), self.dims.len(), "cache does not match network");
 
         // delta = dL/d(pre-activation) of the current layer.
         let mut delta: Vec<f32> = d_output
             .iter()
             .zip(cache.activations[self.layer_count()].iter())
-            .map(|(&d, &y)| d * self.activation_for_layer(self.layer_count() - 1).derivative_from_output(y))
+            .map(|(&d, &y)| {
+                d * self.activation_for_layer(self.layer_count() - 1).derivative_from_output(y)
+            })
             .collect();
 
         for layer in (0..self.layer_count()).rev() {
@@ -333,8 +324,8 @@ impl Mlp {
 
             // Weight and bias gradients.
             {
-                let (gw, gb) = grads[off..off + in_dim * out_dim + out_dim]
-                    .split_at_mut(in_dim * out_dim);
+                let (gw, gb) =
+                    grads[off..off + in_dim * out_dim + out_dim].split_at_mut(in_dim * out_dim);
                 for o in 0..out_dim {
                     let d = delta[o];
                     let row = &mut gw[o * in_dim..(o + 1) * in_dim];
@@ -382,11 +373,8 @@ pub const SH_DIM: usize = 16;
 /// internally (zero vectors map to the +Z basis evaluation).
 pub fn sh_encode(dir: [f32; 3], out: &mut [f32; SH_DIM]) {
     let len = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
-    let (x, y, z) = if len > 1e-9 {
-        (dir[0] / len, dir[1] / len, dir[2] / len)
-    } else {
-        (0.0, 0.0, 1.0)
-    };
+    let (x, y, z) =
+        if len > 1e-9 { (dir[0] / len, dir[1] / len, dir[2] / len) } else { (0.0, 0.0, 1.0) };
     let (xx, yy, zz) = (x * x, y * y, z * z);
     let (xy, yz, xz) = (x * y, y * z, x * z);
 

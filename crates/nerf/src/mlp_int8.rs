@@ -151,9 +151,8 @@ mod tests {
     fn weight_store_shrinks_4x() {
         let mlp = trained_like_mlp(3);
         let q = QuantizedMlp::quantize(&mlp);
-        let float_weight_bytes: usize = (0..mlp.layer_count())
-            .map(|l| mlp.layer_params(l).0.len() * 4)
-            .sum();
+        let float_weight_bytes: usize =
+            (0..mlp.layer_count()).map(|l| mlp.layer_params(l).0.len() * 4).sum();
         assert_eq!(q.weight_bytes() * 4, float_weight_bytes);
     }
 

@@ -88,11 +88,7 @@ impl OccupancyGrid {
         let y = (index / r) % r;
         let z = index / (r * r);
         let inv = 1.0 / self.resolution as f32;
-        Vec3::new(
-            (x as f32 + 0.5) * inv,
-            (y as f32 + 0.5) * inv,
-            (z as f32 + 0.5) * inv,
-        )
+        Vec3::new((x as f32 + 0.5) * inv, (y as f32 + 0.5) * inv, (z as f32 + 0.5) * inv)
     }
 
     /// The side length of a cell.

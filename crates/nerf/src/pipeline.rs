@@ -5,6 +5,11 @@
 //! volumetric rendering) exactly as the accelerator does, while
 //! [`trace_frame`] captures the per-ray workload statistics that the
 //! cycle-level simulator in `fusion3d-core` replays.
+//!
+//! Frame-level entry points dispatch one row of pixels per work chunk
+//! across the [`fusion3d_par::Pool`] workers. Chunk geometry and the
+//! raster-order merge are independent of the thread count, so a frame
+//! is bitwise-identical whether rendered on one core or sixteen.
 
 use crate::camera::Camera;
 use crate::encoding::Encoding;
@@ -12,8 +17,9 @@ use crate::image::Image;
 use crate::math::{Ray, Vec3};
 use crate::model::{NerfModel, PointContext};
 use crate::occupancy::OccupancyGrid;
-use crate::render::{composite, ShadedSample};
-use crate::sampler::{sample_ray, RayWorkload, SamplerConfig};
+use crate::render::{composite, CompositeOutput, ShadedSample};
+use crate::sampler::{sample_ray, RaySample, RayWorkload, SamplerConfig};
+use fusion3d_par::Pool;
 
 /// Configuration shared by rendering and tracing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +42,52 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Runs all three stages for one ray: Stage-I sampling, Stage-II/III
+/// shading of every retained sample, and compositing. The caller owns
+/// the forward context and shaded-sample buffer so frame loops reuse
+/// them across rays instead of allocating per pixel; `shaded` is
+/// cleared first.
+fn shade_ray<E: Encoding>(
+    model: &NerfModel<E>,
+    occupancy: &OccupancyGrid,
+    ray: &Ray,
+    config: &PipelineConfig,
+    early_stop: bool,
+    ctx: &mut PointContext,
+    shaded: &mut Vec<ShadedSample>,
+) -> (Vec<RaySample>, CompositeOutput) {
+    let (samples, _) = sample_ray(ray, occupancy, &config.sampler);
+    shaded.clear();
+    for s in &samples {
+        let eval = model.forward(s.position, ray.direction, ctx);
+        shaded.push(ShadedSample { sigma: eval.sigma, color: eval.color, dt: s.dt });
+    }
+    let out = composite(shaded, config.background, early_stop);
+    (samples, out)
+}
+
+/// The blend-weighted mean sample parameter of one ray, or `None` for
+/// rays that never absorb. Shared by [`render_pixel_depth`] and the
+/// frame-level [`render_depth_image`].
+fn shade_ray_depth<E: Encoding>(
+    model: &NerfModel<E>,
+    occupancy: &OccupancyGrid,
+    ray: &Ray,
+    config: &PipelineConfig,
+    ctx: &mut PointContext,
+    shaded: &mut Vec<ShadedSample>,
+) -> Option<f32> {
+    // Early stop must be off: the weighted-mean depth needs every
+    // sample's exact blend weight.
+    let (samples, out) = shade_ray(model, occupancy, ray, config, false, ctx, shaded);
+    let opacity = 1.0 - out.final_transmittance;
+    if opacity < 1e-3 {
+        return None;
+    }
+    let depth: f32 = samples.iter().zip(&out.weights).map(|(s, &w)| s.t * w).sum::<f32>() / opacity;
+    Some(depth)
+}
+
 /// Renders a single pixel: runs all three stages for one ray.
 pub fn render_pixel<E: Encoding>(
     model: &NerfModel<E>,
@@ -43,29 +95,36 @@ pub fn render_pixel<E: Encoding>(
     ray: &Ray,
     config: &PipelineConfig,
 ) -> Vec3 {
-    let (samples, _) = sample_ray(ray, occupancy, &config.sampler);
     let mut ctx = PointContext::new();
-    let shaded: Vec<ShadedSample> = samples
-        .iter()
-        .map(|s| {
-            let eval = model.forward(s.position, ray.direction, &mut ctx);
-            ShadedSample { sigma: eval.sigma, color: eval.color, dt: s.dt }
-        })
-        .collect();
-    composite(&shaded, config.background, config.early_stop).color
+    let mut shaded = Vec::new();
+    shade_ray(model, occupancy, ray, config, config.early_stop, &mut ctx, &mut shaded).1.color
 }
 
-/// Renders a full frame through the end-to-end pipeline.
+/// Renders a full frame through the end-to-end pipeline, dispatching
+/// one pixel row per work chunk across the worker pool. The output is
+/// bitwise-identical for any `FUSION3D_THREADS` setting.
 pub fn render_image<E: Encoding>(
     model: &NerfModel<E>,
     occupancy: &OccupancyGrid,
     camera: &Camera,
     config: &PipelineConfig,
 ) -> Image {
+    let width = camera.width() as usize;
+    let count = width * camera.height() as usize;
+    let pixels = Pool::new().parallel_flat_map(count, width.max(1), |_, range| {
+        let mut ctx = PointContext::new();
+        let mut shaded = Vec::new();
+        range
+            .map(|i| {
+                let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
+                shade_ray(model, occupancy, &ray, config, config.early_stop, &mut ctx, &mut shaded)
+                    .1
+                    .color
+            })
+            .collect()
+    });
     let mut img = Image::new(camera.width(), camera.height());
-    for (x, y, ray) in camera.rays() {
-        img.set(x, y, render_pixel(model, occupancy, &ray, config));
-    }
+    img.pixels_mut().copy_from_slice(&pixels);
     img
 }
 
@@ -79,42 +138,35 @@ pub fn render_pixel_depth<E: Encoding>(
     ray: &Ray,
     config: &PipelineConfig,
 ) -> Option<f32> {
-    let (samples, _) = sample_ray(ray, occupancy, &config.sampler);
     let mut ctx = PointContext::new();
-    let shaded: Vec<ShadedSample> = samples
-        .iter()
-        .map(|s| {
-            let eval = model.forward(s.position, ray.direction, &mut ctx);
-            ShadedSample { sigma: eval.sigma, color: eval.color, dt: s.dt }
-        })
-        .collect();
-    let out = composite(&shaded, config.background, false);
-    let opacity = 1.0 - out.final_transmittance;
-    if opacity < 1e-3 {
-        return None;
-    }
-    let depth: f32 = samples
-        .iter()
-        .zip(&out.weights)
-        .map(|(s, &w)| s.t * w)
-        .sum::<f32>()
-        / opacity;
-    Some(depth)
+    let mut shaded = Vec::new();
+    shade_ray_depth(model, occupancy, ray, config, &mut ctx, &mut shaded)
 }
 
 /// Renders a normalized depth map: nearer surfaces brighter, rays
 /// that escape black. The normalization divides by the frame's
-/// maximum depth.
+/// maximum depth. Depths evaluate one pixel row per work chunk across
+/// the pool; the max-depth reduction runs serially over the
+/// raster-ordered result, so the frame is thread-count independent.
 pub fn render_depth_image<E: Encoding>(
     model: &NerfModel<E>,
     occupancy: &OccupancyGrid,
     camera: &Camera,
     config: &PipelineConfig,
 ) -> Image {
-    let depths: Vec<Option<f32>> = camera
-        .rays()
-        .map(|(_, _, ray)| render_pixel_depth(model, occupancy, &ray, config))
-        .collect();
+    let width = camera.width() as usize;
+    let count = width * camera.height() as usize;
+    let depths: Vec<Option<f32>> =
+        Pool::new().parallel_flat_map(count, width.max(1), |_, range| {
+            let mut ctx = PointContext::new();
+            let mut shaded = Vec::new();
+            range
+                .map(|i| {
+                    let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
+                    shade_ray_depth(model, occupancy, &ray, config, &mut ctx, &mut shaded)
+                })
+                .collect()
+        });
     let max = depths.iter().flatten().cloned().fold(0.0f32, f32::max).max(1e-6);
     let mut img = Image::new(camera.width(), camera.height());
     for (i, d) in depths.iter().enumerate() {
@@ -162,18 +214,33 @@ impl FrameTrace {
     }
 }
 
-/// Captures the Stage-I workload of a frame without shading it.
+/// Captures the Stage-I workload of a frame without shading it. Rays
+/// trace one pixel row per work chunk across the pool; per-chunk
+/// traces merge in chunk order, so the result matches a serial sweep
+/// exactly.
 pub fn trace_frame(
     occupancy: &OccupancyGrid,
     camera: &Camera,
     sampler: &SamplerConfig,
 ) -> FrameTrace {
+    let width = camera.width() as usize;
+    let count = width * camera.height() as usize;
+    let chunks = Pool::new().parallel_chunks(count, width.max(1), |_, range| {
+        let mut chunk = FrameTrace::default();
+        for i in range {
+            let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
+            let (samples, workload) = sample_ray(&ray, occupancy, sampler);
+            chunk.total_samples += samples.len() as u64;
+            chunk.total_steps += workload.total_steps() as u64;
+            chunk.workloads.push(workload);
+        }
+        chunk
+    });
     let mut trace = FrameTrace::default();
-    for (_, _, ray) in camera.rays() {
-        let (samples, workload) = sample_ray(&ray, occupancy, sampler);
-        trace.total_samples += samples.len() as u64;
-        trace.total_steps += workload.total_steps() as u64;
-        trace.workloads.push(workload);
+    for chunk in chunks {
+        trace.total_samples += chunk.total_samples;
+        trace.total_steps += chunk.total_steps;
+        trace.workloads.extend(chunk.workloads);
     }
     trace
 }
@@ -182,8 +249,8 @@ pub fn trace_frame(
 mod tests {
     use super::*;
     use crate::camera::{orbit_poses, Camera};
-    use crate::model::{ModelConfig, NerfModel};
     use crate::encoding::HashGridConfig;
+    use crate::model::{ModelConfig, NerfModel};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -310,10 +377,7 @@ mod depth_tests {
         let model = dense_model();
         let occ = OccupancyGrid::new(8, 0.0); // all empty
         let ray = Ray::new(Vec3::new(-1.0, 0.4, 0.45), Vec3::X);
-        assert_eq!(
-            render_pixel_depth(&model, &occ, &ray, &PipelineConfig::default()),
-            None
-        );
+        assert_eq!(render_pixel_depth(&model, &occ, &ray, &PipelineConfig::default()), None);
     }
 
     #[test]

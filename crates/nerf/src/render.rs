@@ -76,11 +76,7 @@ pub fn composite(samples: &[ShadedSample], background: Vec3, early_stop: bool) -
         transmittance *= 1.0 - alpha;
     }
     color += background * transmittance;
-    CompositeOutput {
-        color,
-        final_transmittance: transmittance,
-        weights,
-    }
+    CompositeOutput { color, final_transmittance: transmittance, weights }
 }
 
 /// Backward pass of [`composite`]: given `d_color = ∂L/∂C`, returns
@@ -94,31 +90,50 @@ pub fn composite_backward(
     background: Vec3,
     d_color: Vec3,
 ) -> Vec<SampleGrad> {
+    let mut grads = Vec::with_capacity(samples.len());
+    composite_backward_into(samples, background, d_color, &mut grads);
+    grads
+}
+
+/// [`composite_backward`] writing into a caller-owned buffer, so the
+/// training hot loop can reuse one `Vec` per worker instead of
+/// allocating per ray. `grads` is cleared first; no other temporary
+/// buffers are allocated.
+pub fn composite_backward_into(
+    samples: &[ShadedSample],
+    background: Vec3,
+    d_color: Vec3,
+    grads: &mut Vec<SampleGrad>,
+) {
+    grads.clear();
     // Forward quantities (no early stop: must mirror training forward).
-    let mut alphas = Vec::with_capacity(samples.len());
-    let mut trans = Vec::with_capacity(samples.len() + 1);
-    trans.push(1.0f32);
+    // Each entry temporarily stashes what the reverse sweep needs —
+    // `T_i` in `d_sigma` and `α_i` in `d_color.x` — so the pass needs
+    // no side buffers for the transmittance prefix.
+    let mut transmittance = 1.0f32;
     for s in samples {
         let alpha = 1.0 - (-(s.sigma * s.dt).min(MAX_SIGMA_DT)).exp();
-        alphas.push(alpha);
-        let t_prev = *trans.last().expect("trans starts non-empty");
-        trans.push(t_prev * (1.0 - alpha));
+        grads.push(SampleGrad { d_sigma: transmittance, d_color: Vec3::new(alpha, 0.0, 0.0) });
+        transmittance *= 1.0 - alpha;
     }
-    let t_final = *trans.last().expect("trans is non-empty");
+    let t_final = transmittance;
 
-    // Backward sweep with the suffix sum S.
-    let mut grads = vec![SampleGrad { d_sigma: 0.0, d_color: Vec3::ZERO }; samples.len()];
+    // Backward sweep with the suffix sum S, replacing each stash with
+    // the real gradient. `t_next` carries `T_{i+1}` (the stash of
+    // entry `i + 1`, or `T_N` for the last sample).
     let mut suffix = background * t_final;
+    let mut t_next = t_final;
     for i in (0..samples.len()).rev() {
-        let w = trans[i] * alphas[i];
+        let t_i = grads[i].d_sigma;
+        let alpha = grads[i].d_color.x;
+        let w = t_i * alpha;
         let s = &samples[i];
-        grads[i].d_color = d_color * w;
         // ∂C/∂σ_i = δt_i (T_{i+1} c_i − S_i).
-        let dc_dsigma = s.color * (trans[i + 1] * s.dt) - suffix * s.dt;
-        grads[i].d_sigma = d_color.dot(dc_dsigma);
+        let dc_dsigma = s.color * (t_next * s.dt) - suffix * s.dt;
+        grads[i] = SampleGrad { d_sigma: d_color.dot(dc_dsigma), d_color: d_color * w };
         suffix += s.color * w;
+        t_next = t_i;
     }
-    grads
 }
 
 #[cfg(test)]
@@ -163,11 +178,8 @@ mod tests {
 
     #[test]
     fn weights_plus_final_transmittance_sum_to_one() {
-        let samples = [
-            sample(2.0, Vec3::X, 0.3),
-            sample(1.0, Vec3::Y, 0.2),
-            sample(4.0, Vec3::Z, 0.1),
-        ];
+        let samples =
+            [sample(2.0, Vec3::X, 0.3), sample(1.0, Vec3::Y, 0.2), sample(4.0, Vec3::Z, 0.1)];
         let out = composite(&samples, Vec3::ZERO, false);
         let total: f32 = out.weights.iter().sum::<f32>() + out.final_transmittance;
         assert!((total - 1.0).abs() < 1e-6, "partition of unity: {total}");

@@ -33,10 +33,7 @@ impl Default for SamplerConfig {
     /// 128 steps across the diagonal, at most 128 samples per ray —
     /// in the range of sample counts the paper reports for Stage I.
     fn default() -> Self {
-        SamplerConfig {
-            steps_per_diagonal: 128,
-            max_samples_per_ray: 128,
-        }
+        SamplerConfig { steps_per_diagonal: 128, max_samples_per_ray: 128 }
     }
 }
 
@@ -214,10 +211,7 @@ mod tests {
 
     #[test]
     fn diagonal_ray_can_intersect_more_octants() {
-        let ray = Ray::new(
-            Vec3::new(-0.5, -0.5, -0.5),
-            Vec3::new(1.0, 1.0, 1.0).normalize(),
-        );
+        let ray = Ray::new(Vec3::new(-0.5, -0.5, -0.5), Vec3::new(1.0, 1.0, 1.0).normalize());
         let pairs = ray_cube_pairs(&ray);
         // The main diagonal touches at least the two diagonal octants.
         assert!(pairs.len() >= 2);
@@ -277,10 +271,7 @@ mod tests {
         let (samples, wl) = sample_ray(&ray, &g, &cfg);
         let (full_samples, _) = sample_ray(&ray, &full_grid(), &cfg);
         assert!(!samples.is_empty());
-        assert!(
-            samples.len() < full_samples.len(),
-            "occupancy filtering must reduce sample count"
-        );
+        assert!(samples.len() < full_samples.len(), "occupancy filtering must reduce sample count");
         // All retained samples lie in the occupied half (cell-quantized
         // boundary allows a half-cell of slack).
         for s in &samples {
@@ -323,10 +314,8 @@ mod tests {
         let (full_samples, full_wl) = sample_ray(&ray, &full, &cfg);
         // Sparse sampling retains exactly the lattice samples that lie
         // in occupied cells of the full run.
-        let expected: Vec<_> = full_samples
-            .iter()
-            .filter(|s| sparse.is_occupied(s.position))
-            .collect();
+        let expected: Vec<_> =
+            full_samples.iter().filter(|s| sparse.is_occupied(s.position)).collect();
         assert_eq!(sparse_samples.len(), expected.len());
         for (a, b) in sparse_samples.iter().zip(expected) {
             assert!((a.t - b.t).abs() < 1e-4, "sample moved: {} vs {}", a.t, b.t);

@@ -116,12 +116,26 @@ impl LargeScene {
 /// A signed-distance primitive with an albedo.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Shape {
-    Sphere { center: Vec3, radius: f32 },
-    Box { center: Vec3, half: Vec3 },
+    Sphere {
+        center: Vec3,
+        radius: f32,
+    },
+    Box {
+        center: Vec3,
+        half: Vec3,
+    },
     /// Capsule along the segment `a`–`b` with the given radius.
-    Capsule { a: Vec3, b: Vec3, radius: f32 },
+    Capsule {
+        a: Vec3,
+        b: Vec3,
+        radius: f32,
+    },
     /// Torus in the XZ plane around `center`.
-    Torus { center: Vec3, major: f32, minor: f32 },
+    Torus {
+        center: Vec3,
+        major: f32,
+        minor: f32,
+    },
 }
 
 impl Shape {
@@ -177,7 +191,11 @@ impl ProceduralScene {
                     albedo: c(0.75, 0.75, 0.8),
                 });
                 prims.push(Primitive {
-                    shape: Shape::Capsule { a: c(0.5, 0.2, 0.5), b: c(0.5, 0.62, 0.5), radius: 0.015 },
+                    shape: Shape::Capsule {
+                        a: c(0.5, 0.2, 0.5),
+                        b: c(0.5, 0.62, 0.5),
+                        radius: 0.015,
+                    },
                     albedo: c(0.25, 0.25, 0.28),
                 });
                 prims.push(Primitive {
@@ -188,7 +206,11 @@ impl ProceduralScene {
             SyntheticScene::Ficus => {
                 // Thin trunk plus scattered leaf spheres.
                 prims.push(Primitive {
-                    shape: Shape::Capsule { a: c(0.5, 0.18, 0.5), b: c(0.5, 0.55, 0.5), radius: 0.02 },
+                    shape: Shape::Capsule {
+                        a: c(0.5, 0.18, 0.5),
+                        b: c(0.5, 0.55, 0.5),
+                        radius: 0.02,
+                    },
                     albedo: c(0.45, 0.3, 0.15),
                 });
                 let leaves = [
@@ -216,9 +238,8 @@ impl ProceduralScene {
                     shape: Shape::Box { center: c(0.5, 0.3, 0.5), half: c(0.09, 0.07, 0.09) },
                     albedo: c(0.7, 0.15, 0.15),
                 });
-                for (i, &(x, z)) in [(0.35, 0.4), (0.65, 0.4), (0.38, 0.62), (0.62, 0.62)]
-                    .iter()
-                    .enumerate()
+                for (i, &(x, z)) in
+                    [(0.35, 0.4), (0.65, 0.4), (0.38, 0.62), (0.62, 0.62)].iter().enumerate()
                 {
                     prims.push(Primitive {
                         shape: Shape::Torus {
@@ -264,7 +285,11 @@ impl ProceduralScene {
                     albedo: c(0.85, 0.6, 0.1),
                 });
                 prims.push(Primitive {
-                    shape: Shape::Capsule { a: c(0.62, 0.4, 0.5), b: c(0.72, 0.58, 0.5), radius: 0.03 },
+                    shape: Shape::Capsule {
+                        a: c(0.62, 0.4, 0.5),
+                        b: c(0.72, 0.58, 0.5),
+                        radius: 0.03,
+                    },
                     albedo: c(0.5, 0.5, 0.5),
                 });
                 for k in 0..4 {
@@ -321,7 +346,11 @@ impl ProceduralScene {
                 });
                 for &x in &[0.35, 0.5, 0.65] {
                     prims.push(Primitive {
-                        shape: Shape::Capsule { a: c(x, 0.44, 0.5), b: c(x, 0.74, 0.5), radius: 0.015 },
+                        shape: Shape::Capsule {
+                            a: c(x, 0.44, 0.5),
+                            b: c(x, 0.74, 0.5),
+                            radius: 0.015,
+                        },
                         albedo: c(0.3, 0.2, 0.12),
                     });
                     prims.push(Primitive {
@@ -340,11 +369,7 @@ impl ProceduralScene {
                 });
             }
         }
-        ProceduralScene {
-            name: scene.name().to_string(),
-            primitives: prims,
-            background: Vec3::ONE,
-        }
+        ProceduralScene { name: scene.name().to_string(), primitives: prims, background: Vec3::ONE }
     }
 
     /// Builds the procedural stand-in for a NeRF-360 large scene.
@@ -526,11 +551,7 @@ mod tests {
             let scene = ProceduralScene::synthetic(kind);
             assert!(scene.primitive_count() > 0, "{} empty", scene.name());
             let ratio = scene.occupancy_ratio(16, 0.05);
-            assert!(
-                ratio > 0.0 && ratio < 0.6,
-                "{}: occupancy {ratio} out of range",
-                scene.name()
-            );
+            assert!(ratio > 0.0 && ratio < 0.6, "{}: occupancy {ratio} out of range", scene.name());
         }
     }
 
@@ -541,10 +562,7 @@ mod tests {
         // corresponding scene statistic is sparsity.
         let mic = ProceduralScene::synthetic(SyntheticScene::Mic).occupancy_ratio(16, 0.03);
         let ship = ProceduralScene::synthetic(SyntheticScene::Ship).occupancy_ratio(16, 0.03);
-        assert!(
-            mic * 2.0 < ship,
-            "mic ({mic}) should be far sparser than ship ({ship})"
-        );
+        assert!(mic * 2.0 < ship, "mic ({mic}) should be far sparser than ship ({ship})");
     }
 
     #[test]
@@ -600,10 +618,7 @@ mod tests {
         let bg = scene.background();
         let fg_pixels = img.pixels().iter().filter(|&&p| p != bg).count();
         assert!(fg_pixels > 10, "some pixels hit geometry: {fg_pixels}");
-        assert!(
-            fg_pixels < img.pixel_count(),
-            "some pixels see the background"
-        );
+        assert!(fg_pixels < img.pixel_count(), "some pixels see the background");
     }
 
     #[test]

@@ -15,9 +15,17 @@ use crate::math::Vec3;
 use crate::model::{ModelGrads, ModelOptimizer, NerfModel, PointContext};
 use crate::occupancy::OccupancyGrid;
 use crate::pipeline::{render_image, PipelineConfig};
-use crate::render::{composite, composite_backward, ShadedSample};
+use crate::render::{composite, composite_backward_into, SampleGrad, ShadedSample};
 use crate::sampler::{sample_ray, SamplerConfig};
+use fusion3d_par::Pool;
 use rand::Rng;
+
+/// Number of gradient shards per training step. Fixed (never derived
+/// from the thread count) so the shard boundaries — and therefore the
+/// f32 gradient-accumulation order — are identical no matter how many
+/// workers execute them. Thread counts above this see no further
+/// training speedup.
+const GRAD_SHARDS: usize = 16;
 
 /// Byte ledger of the data volumes moved by training, split along the
 /// paper's Fig. 3 stage boundaries.
@@ -177,6 +185,28 @@ pub struct StepStats {
     pub samples: usize,
 }
 
+/// Reusable per-shard scratch for one slice of a training batch: a
+/// private gradient buffer plus the forward/backward working memory,
+/// so the hot loop allocates nothing per ray.
+#[derive(Debug)]
+struct ShardScratch {
+    grads: ModelGrads,
+    contexts: Vec<PointContext>,
+    shaded: Vec<ShadedSample>,
+    sample_grads: Vec<SampleGrad>,
+}
+
+impl ShardScratch {
+    fn new<E: crate::encoding::Encoding>(model: &NerfModel<E>) -> Self {
+        ShardScratch {
+            grads: model.alloc_grads(),
+            contexts: Vec::new(),
+            shaded: Vec::new(),
+            sample_grads: Vec::new(),
+        }
+    }
+}
+
 /// A NeRF trainer owning the model, occupancy grid, and optimizer
 /// state. Generic over the model's spatial encoding (hash grid by
 /// default).
@@ -189,7 +219,7 @@ pub struct Trainer<E: crate::encoding::Encoding = crate::encoding::HashGrid> {
     config: TrainerConfig,
     iteration: u32,
     volume: DataVolume,
-    contexts: Vec<PointContext>,
+    shards: Vec<ShardScratch>,
 }
 
 impl<E: crate::encoding::Encoding> Trainer<E> {
@@ -209,7 +239,7 @@ impl<E: crate::encoding::Encoding> Trainer<E> {
             config,
             iteration: 0,
             volume: DataVolume::default(),
-            contexts: Vec::new(),
+            shards: Vec::new(),
         }
     }
 
@@ -276,8 +306,7 @@ impl<E: crate::encoding::Encoding> Trainer<E> {
             && self.iteration.is_multiple_of(self.config.occupancy_update_interval)
         {
             let model = &self.model;
-            self.occupancy
-                .update(|p| model.density_at(p), self.config.occupancy_decay, rng);
+            self.occupancy.update(|p| model.density_at(p), self.config.occupancy_decay, rng);
         }
     }
 
@@ -304,44 +333,88 @@ impl<E: crate::encoding::Encoding> Trainer<E> {
         }
         self.maybe_refresh_occupancy(rng);
         let batch = dataset.sample_batch(self.config.rays_per_batch, rng);
-        self.grads.zero();
 
-        let mut loss_sum = 0.0f64;
-        let mut sample_count = 0usize;
+        // Shard the batch into contiguous ray ranges, one gradient
+        // buffer per shard. Shard geometry depends only on the batch
+        // size, and shards merge in shard-index order below, so the
+        // updated parameters are bitwise-identical for any thread
+        // count.
+        let shard_count = GRAD_SHARDS.min(batch.len()).max(1);
+        let rays_per_shard = batch.len().div_ceil(shard_count);
+        while self.shards.len() < shard_count {
+            self.shards.push(ShardScratch::new(&self.model));
+        }
         let inv_norm = 1.0 / (batch.len() as f32 * 3.0);
 
-        for (ray, target) in &batch {
-            let (samples, _) = sample_ray(ray, &self.occupancy, &self.config.sampler);
-            sample_count += samples.len();
-            // Forward every sample, retaining contexts for backward.
-            if self.contexts.len() < samples.len() {
-                self.contexts.resize_with(samples.len(), PointContext::new);
-            }
-            let mut shaded = Vec::with_capacity(samples.len());
-            for (s, ctx) in samples.iter().zip(self.contexts.iter_mut()) {
-                let eval = self.model.forward(s.position, ray.direction, ctx);
-                shaded.push(ShadedSample { sigma: eval.sigma, color: eval.color, dt: s.dt });
-            }
-            let out = composite(&shaded, self.config.background, false);
-            let err = out.color - *target;
-            loss_sum += (err.length_squared() / 3.0) as f64;
-            // d(mean squared error)/d(pixel color).
-            let d_pixel = err * (2.0 * inv_norm);
-            let sample_grads = composite_backward(&shaded, self.config.background, d_pixel);
-            for ((s, ctx), g) in samples.iter().zip(self.contexts.iter()).zip(&sample_grads) {
-                self.model
-                    .backward(s.position, ctx, g.d_sigma, g.d_color, &mut self.grads);
-            }
+        // Split the borrow: workers read the model/occupancy/config
+        // while holding exclusive access to their shard scratch.
+        let Trainer { model, occupancy, config, shards, .. } = &mut *self;
+        let model: &NerfModel<E> = model;
+        let occupancy: &OccupancyGrid = occupancy;
+        let config: &TrainerConfig = config;
+        let batch_ref = &batch;
+
+        let shard_stats: Vec<(f64, usize)> =
+            Pool::new().run_tasks(&mut shards[..shard_count], |index, scratch| {
+                scratch.grads.zero();
+                let start = index * rays_per_shard;
+                let end = (start + rays_per_shard).min(batch_ref.len());
+                let mut loss_sum = 0.0f64;
+                let mut sample_count = 0usize;
+                for (ray, target) in &batch_ref[start..end] {
+                    let (samples, _) = sample_ray(ray, occupancy, &config.sampler);
+                    sample_count += samples.len();
+                    // Forward every sample, retaining contexts for
+                    // backward.
+                    if scratch.contexts.len() < samples.len() {
+                        scratch.contexts.resize_with(samples.len(), PointContext::new);
+                    }
+                    scratch.shaded.clear();
+                    for (s, ctx) in samples.iter().zip(scratch.contexts.iter_mut()) {
+                        let eval = model.forward(s.position, ray.direction, ctx);
+                        scratch.shaded.push(ShadedSample {
+                            sigma: eval.sigma,
+                            color: eval.color,
+                            dt: s.dt,
+                        });
+                    }
+                    let out = composite(&scratch.shaded, config.background, false);
+                    let err = out.color - *target;
+                    loss_sum += (err.length_squared() / 3.0) as f64;
+                    // d(mean squared error)/d(pixel color).
+                    let d_pixel = err * (2.0 * inv_norm);
+                    composite_backward_into(
+                        &scratch.shaded,
+                        config.background,
+                        d_pixel,
+                        &mut scratch.sample_grads,
+                    );
+                    for ((s, ctx), g) in
+                        samples.iter().zip(scratch.contexts.iter()).zip(&scratch.sample_grads)
+                    {
+                        model.backward(s.position, ctx, g.d_sigma, g.d_color, &mut scratch.grads);
+                    }
+                }
+                (loss_sum, sample_count)
+            });
+
+        // Fixed-order merge: shard gradients and losses accumulate in
+        // shard-index order regardless of which worker finished first.
+        let mut loss_sum = 0.0f64;
+        let mut sample_count = 0usize;
+        for (loss, samples) in shard_stats {
+            loss_sum += loss;
+            sample_count += samples;
+        }
+        self.grads.zero();
+        for scratch in &self.shards[..shard_count] {
+            self.grads.accumulate(&scratch.grads);
         }
 
         self.optimizer.step(&mut self.model, &self.grads);
         self.iteration += 1;
         self.account_step_volume(batch.len(), sample_count);
-        StepStats {
-            loss: loss_sum / batch.len() as f64,
-            rays: batch.len(),
-            samples: sample_count,
-        }
+        StepStats { loss: loss_sum / batch.len() as f64, rays: batch.len(), samples: sample_count }
     }
 
     /// Runs `iterations` steps and returns the mean loss of the final
@@ -455,10 +528,7 @@ mod tests {
             trainer.step(&dataset, &mut rng);
         }
         let last: f64 = (0..5).map(|_| trainer.step(&dataset, &mut rng).loss).sum::<f64>() / 5.0;
-        assert!(
-            last < first * 0.5,
-            "loss should drop by >2x: first {first}, last {last}"
-        );
+        assert!(last < first * 0.5, "loss should drop by >2x: first {first}, last {last}");
         assert_eq!(trainer.iteration(), 130);
     }
 
@@ -473,10 +543,7 @@ mod tests {
             trainer.step(&dataset, &mut rng);
         }
         let ratio = trainer.occupancy().occupancy_ratio();
-        assert!(
-            ratio < 0.9,
-            "occupancy grid should prune empty space, got {ratio}"
-        );
+        assert!(ratio < 0.9, "occupancy grid should prune empty space, got {ratio}");
     }
 
     #[test]
@@ -499,8 +566,7 @@ mod tests {
         // The key Fig. 3 relation: intermediate volume dwarfs the
         // end-to-end I/O even after a handful of iterations.
         assert!(
-            trainer.data_volume().total_intermediate()
-                > trainer.data_volume().end_to_end_io / 100
+            trainer.data_volume().total_intermediate() > trainer.data_volume().end_to_end_io / 100
         );
     }
 
@@ -572,10 +638,7 @@ mod lr_schedule_tests {
         let late = delta(&before_late, &snapshot(&trainer));
         // After 4 decays of 0.5x the max per-step movement (which Adam
         // ties to the learning rate) must be much smaller.
-        assert!(
-            late < early * 0.5,
-            "late step moved {late}, early step moved {early}"
-        );
+        assert!(late < early * 0.5, "late step moved {late}, early step moved {early}");
     }
 
     #[test]

@@ -16,9 +16,8 @@ fn arb_vec3(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
 
 fn arb_samples() -> impl Strategy<Value = Vec<ShadedSample>> {
     prop::collection::vec(
-        (0.0f32..50.0, arb_vec3(0.0..1.0), 0.001f32..0.5).prop_map(|(sigma, color, dt)| {
-            ShadedSample { sigma, color, dt }
-        }),
+        (0.0f32..50.0, arb_vec3(0.0..1.0), 0.001f32..0.5)
+            .prop_map(|(sigma, color, dt)| ShadedSample { sigma, color, dt }),
         0..32,
     )
 }

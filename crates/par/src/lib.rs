@@ -1,0 +1,338 @@
+//! Deterministic multi-core execution layer for Fusion-3D.
+//!
+//! The simulator's hot paths — frame rendering, training steps, and
+//! scene-level experiment sweeps — are embarrassingly parallel, but a
+//! research codebase lives or dies on reproducibility. This crate
+//! provides a scoped worker [`Pool`] built on `std::thread::scope` and
+//! crossbeam work-stealing deques with a hard determinism contract:
+//!
+//! **the result of every combinator is bitwise-identical for any
+//! thread count, including 1.**
+//!
+//! Three rules make that hold:
+//!
+//! 1. *Work decomposition never looks at the thread count.* Chunk
+//!    boundaries depend only on the input length and the requested
+//!    chunk size, so the same call produces the same chunks whether
+//!    one worker or sixteen execute them.
+//! 2. *Each chunk writes to its own index-addressed slot.* Workers
+//!    race over which chunk they grab next (stealing balances load),
+//!    but never over where a result lands.
+//! 3. *Reduction runs on the calling thread in chunk-index order.*
+//!    Floating-point accumulation is not associative, so the merge
+//!    order is fixed regardless of completion order.
+//!
+//! Thread count comes from the `FUSION3D_THREADS` environment
+//! variable (default: [`std::thread::available_parallelism`]), with a
+//! process-wide programmatic override ([`set_thread_override`]) for
+//! benchmarks that sweep thread counts.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+
+/// Environment variable controlling the worker count (`0` or unset
+/// means "use all available cores").
+pub const THREADS_ENV: &str = "FUSION3D_THREADS";
+
+/// `0` = no override; otherwise the forced thread count.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the thread count for every subsequently created [`Pool`],
+/// taking precedence over [`THREADS_ENV`]. Pass `None` to clear.
+/// Intended for benchmarks that sweep thread counts within one
+/// process; tests and applications should prefer the environment
+/// variable.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Resolves the effective thread count: programmatic override, then
+/// [`THREADS_ENV`], then [`std::thread::available_parallelism`].
+/// Always at least 1.
+pub fn current_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(parsed) = value.trim().parse::<usize>() {
+            if parsed > 0 {
+                return parsed;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A scoped worker pool. Creating one is cheap (no threads are kept
+/// alive between calls); each combinator spins up a `thread::scope`
+/// for its duration, which also propagates worker panics to the
+/// caller.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+impl Pool {
+    /// A pool sized by [`current_threads`] (override, then env, then
+    /// available parallelism).
+    pub fn new() -> Self {
+        Pool { threads: current_threads() }
+    }
+
+    /// A pool with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Pool { threads: threads.max(1) }
+    }
+
+    /// The number of worker threads this pool dispatches to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..len` into contiguous chunks of `chunk_size` (the
+    /// last may be shorter), runs `work(chunk_index, range)` for each
+    /// across the pool, and returns the per-chunk results **in chunk
+    /// order**. Chunk boundaries are independent of the thread count,
+    /// so the output is identical for any pool size.
+    pub fn parallel_chunks<T, F>(&self, len: usize, chunk_size: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let ranges: Vec<Range<usize>> =
+            (0..len.div_ceil(chunk_size)).map(|i| chunk_range(i, chunk_size, len)).collect();
+        self.run_indexed(ranges.len(), |index| work(index, ranges[index].clone()))
+    }
+
+    /// [`Pool::parallel_chunks`] followed by a fixed-order fold on the
+    /// calling thread: chunks map in parallel, then reduce strictly in
+    /// chunk-index order, so non-associative (floating-point)
+    /// reductions stay deterministic.
+    pub fn parallel_map_reduce<T, A, F, R>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        work: F,
+        init: A,
+        reduce: R,
+    ) -> A
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+        R: FnMut(A, T) -> A,
+    {
+        self.parallel_chunks(len, chunk_size, work).into_iter().fold(init, reduce)
+    }
+
+    /// [`Pool::parallel_chunks`] where each chunk yields a `Vec`,
+    /// flattened in chunk order into one output vector.
+    pub fn parallel_flat_map<T, F>(&self, len: usize, chunk_size: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> Vec<T> + Sync,
+    {
+        let chunks = self.parallel_chunks(len, chunk_size, work);
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Runs one task per element of `states`, handing task `i`
+    /// exclusive `&mut` access to `states[i]`. Results come back in
+    /// state-index order. This is the shard primitive: callers keep
+    /// one scratch/accumulator struct per shard and merge them in
+    /// shard order afterwards.
+    pub fn run_tasks<S, T, F>(&self, states: &mut [S], work: F) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        // Wrap each state in a Mutex slot so tasks can be stolen by
+        // any worker; the index-per-task discipline means every lock
+        // is uncontended.
+        let slots: Vec<Mutex<&mut S>> = states.iter_mut().map(Mutex::new).collect();
+        self.run_indexed(slots.len(), |index| {
+            let mut state = slots[index].lock();
+            work(index, &mut state)
+        })
+    }
+
+    /// Core dispatch: executes `task(0..count)` across the pool and
+    /// collects results into index-addressed slots. Work distribution
+    /// (round-robin seeding + stealing) affects only *who* runs a
+    /// task, never *where* its result lands.
+    fn run_indexed<T, F>(&self, count: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(count);
+        if workers <= 1 {
+            // Inline fast path: no scope, no deques, no locking.
+            return (0..count).map(task).collect();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let injector = Injector::new();
+        let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
+        // Seed round-robin so every worker starts with local work;
+        // stealing rebalances if chunk costs are skewed.
+        for (index, local) in (0..count).zip(locals.iter().cycle()) {
+            local.push(index);
+        }
+
+        thread::scope(|scope| {
+            for local in locals {
+                scope.spawn(|| {
+                    let local = local;
+                    while let Some(index) = next_task(&local, &injector, &stealers) {
+                        *slots[index].lock() = Some(task(index));
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every task index ran exactly once"))
+            .collect()
+    }
+}
+
+/// Fixed chunk geometry: chunk `i` covers
+/// `[i * chunk_size, min((i + 1) * chunk_size, len))`.
+fn chunk_range(index: usize, chunk_size: usize, len: usize) -> Range<usize> {
+    let start = index * chunk_size;
+    start..((start + chunk_size).min(len))
+}
+
+/// Standard crossbeam find-task loop: local deque first, then the
+/// global injector, then stealing from siblings.
+fn next_task(
+    local: &Worker<usize>,
+    injector: &Injector<usize>,
+    stealers: &[Stealer<usize>],
+) -> Option<usize> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            injector
+                .steal_batch_and_pop(local)
+                .or_else(|| stealers.iter().map(Stealer::steal).collect())
+        })
+        .find(|steal| !steal.is_retry())
+        .and_then(Steal::success)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(range: Range<usize>) -> f32 {
+        // Deliberately order-sensitive accumulation (f32 addition is
+        // non-associative) to catch any reduction-order drift.
+        range.map(|i| 1.0f32 / (i as f32 + 1.0)).sum()
+    }
+
+    #[test]
+    fn chunk_results_are_identical_across_thread_counts() {
+        let reference: Vec<f32> =
+            Pool::with_threads(1).parallel_chunks(1000, 37, |_, range| weights(range));
+        for threads in [2, 3, 4, 8, 16] {
+            let got =
+                Pool::with_threads(threads).parallel_chunks(1000, 37, |_, range| weights(range));
+            assert_eq!(reference.len(), got.len());
+            for (a, b) in reference.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_bitwise_stable() {
+        let reference = Pool::with_threads(1).parallel_map_reduce(
+            5000,
+            61,
+            |_, r| weights(r),
+            0.0f32,
+            |a, x| a + x,
+        );
+        for threads in [2, 4, 7] {
+            let got = Pool::with_threads(threads).parallel_map_reduce(
+                5000,
+                61,
+                |_, r| weights(r),
+                0.0f32,
+                |a, x| a + x,
+            );
+            assert_eq!(reference.to_bits(), got.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn flat_map_preserves_element_order() {
+        let out = Pool::with_threads(4)
+            .parallel_flat_map(100, 7, |_, range| range.collect::<Vec<usize>>());
+        assert_eq!(out, (0..100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn run_tasks_gives_each_task_its_own_state() {
+        let mut states = vec![0u64; 13];
+        let results = Pool::with_threads(4).run_tasks(&mut states, |index, state| {
+            *state = index as u64 + 1;
+            index * 10
+        });
+        assert_eq!(results, (0..13).map(|i| i * 10).collect::<Vec<usize>>());
+        assert_eq!(states, (1..=13).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let pool = Pool::with_threads(8);
+        assert!(pool.parallel_chunks(0, 4, |_, r| r.len()).is_empty());
+        assert_eq!(pool.parallel_chunks(3, 100, |_, r| r.len()), vec![3]);
+        assert_eq!(pool.parallel_chunks(4, 0, |_, r| r.len()), vec![1; 4]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::with_threads(4).parallel_chunks(64, 1, |index, _| {
+                assert!(index != 17, "boom");
+                index
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn thread_override_takes_effect() {
+        set_thread_override(Some(3));
+        assert_eq!(Pool::new().threads(), 3);
+        set_thread_override(None);
+        assert!(Pool::new().threads() >= 1);
+    }
+}

@@ -21,8 +21,13 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let chip = FusionChip::scaled_up();
     let cfg = chip.config();
-    println!("Fusion-3D scaled-up chip: {:.1} mm^2, {:.0} KB SRAM, {:.0} MHz, {:.2} W",
-        cfg.die_area_mm2, cfg.total_sram_kb(), cfg.clock_mhz, cfg.typical_power_w);
+    println!(
+        "Fusion-3D scaled-up chip: {:.1} mm^2, {:.0} KB SRAM, {:.0} MHz, {:.2} W",
+        cfg.die_area_mm2,
+        cfg.total_sram_kb(),
+        cfg.clock_mhz,
+        cfg.typical_power_w
+    );
     println!("\nModule breakdown:");
     for m in Module::ALL {
         println!(
@@ -98,9 +103,10 @@ fn main() {
     }
     let refs: Vec<&[VertexRequest]> = groups.iter().map(|g| g.as_slice()).collect();
     println!("\nStage-II bank behaviour over {} fetch groups:", groups.len());
-    for (name, mapping) in
-        [("naive low-order bits", BankMapping::LowOrderBits), ("two-level tiling (T4)", BankMapping::TwoLevelTiling)]
-    {
+    for (name, mapping) in [
+        ("naive low-order bits", BankMapping::LowOrderBits),
+        ("two-level tiling (T4)", BankMapping::TwoLevelTiling),
+    ] {
         let s = simulate_groups(mapping, refs.iter().copied());
         println!(
             "  {:<24} mean {:.2} cycles, variance {:.3}, conflicts {}",

@@ -12,6 +12,7 @@ use fusion3d::core::sampling::t1_speedup;
 use fusion3d::nerf::camera::{orbit_poses, Camera};
 use fusion3d::nerf::pipeline::trace_frame;
 use fusion3d::nerf::{ProceduralScene, SamplerConfig, SyntheticScene, Vec3};
+use fusion3d::par::Pool;
 
 fn main() {
     let chip = FusionChip::scaled_up();
@@ -20,17 +21,17 @@ fn main() {
     let camera = Camera::new(pose, 160, 160, 0.9);
     let scale = 800.0 * 800.0 / (160.0 * 160.0);
 
-    println!(
-        "{:>10} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "scene", "occ %", "smp/ray", "hit %", "M pts/s", "FPS", "T1 gain"
-    );
-    for kind in SyntheticScene::ALL {
+    // Fan the independent per-scene simulations out across the worker
+    // pool (FUSION3D_THREADS); results come back in scene order.
+    let scenes = SyntheticScene::ALL;
+    let rows = Pool::new().parallel_chunks(scenes.len(), 1, |index, _| {
+        let kind = scenes[index];
         let scene = ProceduralScene::synthetic(kind);
         let occupancy = scene.occupancy_grid(32);
         let trace = trace_frame(&occupancy, &camera, &sampler);
         let report = chip.simulate_frame(&trace);
         let fps = 1.0 / (report.seconds * scale);
-        println!(
+        format!(
             "{:>10} {:>8.1} {:>10.1} {:>10.0} {:>10.1} {:>8.0} {:>7.1}x",
             kind.name(),
             occupancy.occupancy_ratio() * 100.0,
@@ -39,7 +40,15 @@ fn main() {
             report.points_per_second() / 1e6,
             fps,
             t1_speedup(&trace.workloads),
-        );
+        )
+    });
+
+    println!(
+        "{:>10} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "scene", "occ %", "smp/ray", "hit %", "M pts/s", "FPS", "T1 gain"
+    );
+    for row in rows {
+        println!("{row}");
     }
     println!(
         "\nSparse scenes (mic, ficus) render fastest and gain the most from\n\

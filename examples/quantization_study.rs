@@ -111,10 +111,7 @@ fn main() {
         // parameters for a like-for-like comparison.
         let mut pristine = f16_model.clone();
         pristine.grid_mut().params_mut().copy_from_slice(model_f32_grid.as_slice());
-        pristine
-            .density_mlp_mut()
-            .params_mut()
-            .copy_from_slice(model_f32_density.as_slice());
+        pristine.density_mlp_mut().params_mut().copy_from_slice(model_f32_density.as_slice());
         pristine.color_mlp_mut().params_mut().copy_from_slice(model_f32_color.as_slice());
         render_image_of(&pristine, &occupancy, reference, &pipeline).psnr(&reference.image)
     };

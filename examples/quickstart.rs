@@ -26,11 +26,7 @@ fn main() {
 
     // 1. Render a ground-truth dataset of posed views.
     let dataset = Dataset::from_scene(&scene, 8, 32, 0.9);
-    println!(
-        "Dataset: {} views, {} rays total",
-        dataset.views().len(),
-        dataset.total_rays()
-    );
+    println!("Dataset: {} views, {} rays total", dataset.views().len(), dataset.total_rays());
 
     // 2. Instant reconstruction: train the hash-grid field.
     let mut rng = SmallRng::seed_from_u64(42);

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every change.
+# Run from the repository root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+echo "All tier-1 checks passed."

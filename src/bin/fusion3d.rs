@@ -67,9 +67,7 @@ fn parse_flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, String>
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        let key = arg
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got '{arg}'"))?;
+        let key = arg.strip_prefix("--").ok_or_else(|| format!("expected --flag, got '{arg}'"))?;
         let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
         if let Some(v) = value {
             out.push((key.to_string(), Some(v.clone())));
@@ -83,10 +81,7 @@ fn parse_flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, String>
 }
 
 fn flag_value<'a>(flags: &'a [(String, Option<String>)], key: &str) -> Option<&'a str> {
-    flags
-        .iter()
-        .find(|(k, _)| k == key)
-        .and_then(|(_, v)| v.as_deref())
+    flags.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_deref())
 }
 
 fn flag_present(flags: &[(String, Option<String>)], key: &str) -> bool {
@@ -175,7 +170,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 fn cmd_render(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let model_path = flag_value(&flags, "model").ok_or("render requires --model")?;
-    let scene_name = flag_value(&flags, "scene").ok_or("render requires --scene (for camera/background)")?;
+    let scene_name =
+        flag_value(&flags, "scene").ok_or("render requires --scene (for camera/background)")?;
     let out = flag_value(&flags, "out").ok_or("render requires --out")?;
     let size: u32 = flag_value(&flags, "size")
         .unwrap_or("128")
@@ -245,15 +241,16 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             .map(|g| {
                 camera
                     .rays()
-                    .map(|(_, _, ray)| {
-                        fusion3d::nerf::sampler::sample_ray(&ray, g, &sampler).1
-                    })
+                    .map(|(_, _, ray)| fusion3d::nerf::sampler::sample_ray(&ray, g, &sampler).1)
                     .collect()
             })
             .collect();
         let report = system.simulate(&per_chip, false);
-        println!("  multi-chip (4 chips): {:.2} ms/frame at trace scale, imbalance {:.2}",
-            report.total_seconds * 1e3, report.imbalance());
+        println!(
+            "  multi-chip (4 chips): {:.2} ms/frame at trace scale, imbalance {:.2}",
+            report.total_seconds * 1e3,
+            report.imbalance()
+        );
     }
     Ok(())
 }
@@ -317,7 +314,8 @@ fn cmd_scenes() -> Result<(), String> {
 
 fn cmd_chip_info() -> Result<(), String> {
     use fusion3d::core::config::{ChipConfig, Module};
-    for (label, cfg) in [("Prototype", ChipConfig::prototype()), ("Scaled-up", ChipConfig::scaled_up())]
+    for (label, cfg) in
+        [("Prototype", ChipConfig::prototype()), ("Scaled-up", ChipConfig::scaled_up())]
     {
         println!(
             "{label}: {:.1} mm^2, {:.0} KB SRAM, {:.0} MHz @ {:.2} V, {:.2} W",

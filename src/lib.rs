@@ -20,7 +20,11 @@
 //!   all three pipeline stages, energy/area models calibrated to the
 //!   28 nm silicon measurements, and bandwidth analysis;
 //! * [`multichip`] — the MoE NeRF model and the four-chip system;
-//! * [`baselines`] — published specs of every comparison device.
+//! * [`baselines`] — published specs of every comparison device;
+//! * [`par`] — the deterministic multi-core execution layer: frame
+//!   rendering, training steps, and scene sweeps fan out across a
+//!   work-stealing pool (`FUSION3D_THREADS` sets the worker count)
+//!   while producing bitwise-identical results at any thread count.
 //!
 //! ## Quickstart
 //!
@@ -57,3 +61,4 @@ pub use fusion3d_core as core;
 pub use fusion3d_mem as mem;
 pub use fusion3d_multichip as multichip;
 pub use fusion3d_nerf as nerf;
+pub use fusion3d_par as par;

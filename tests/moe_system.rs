@@ -92,12 +92,8 @@ fn multichip_system_runs_trained_moe_workloads() {
     assert!(inference.imbalance() >= 1.0);
 
     let samples: u64 = per_chip.iter().flatten().map(|w| w.total_samples() as u64).sum();
-    let workload = FrameWorkload {
-        rays: camera.pixel_count(),
-        samples,
-        feature_dim: 6,
-        training: false,
-    };
+    let workload =
+        FrameWorkload { rays: camera.pixel_count(), samples, feature_dim: 6, training: false };
     assert!(moe_bytes(&workload, 4) * 5 < layer_split_bytes(&workload, 4));
 }
 

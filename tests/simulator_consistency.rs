@@ -29,8 +29,7 @@ fn stepped_pipeline_brackets_the_analytic_model() {
     for kind in SyntheticScene::ALL {
         let trace = scene_trace(kind);
         let analytic = chip.simulate_frame(&trace).cycles;
-        let stepped =
-            simulate_pipeline(&chip, &trace, &BufferConfig::fusion3d(), false);
+        let stepped = simulate_pipeline(&chip, &trace, &BufferConfig::fusion3d(), false);
         assert_eq!(stepped.points, trace.total_samples, "{}", kind.name());
         assert!(
             stepped.cycles >= analytic,
@@ -94,13 +93,9 @@ fn training_plans_are_instant_on_every_scene() {
         // samples per ray. Sparse scenes retain fewer samples per ray,
         // so their budget is ray-bound (there is simply less content
         // to fit); dense scenes are sample-bound.
-        let per_step = (trace.total_samples as f64)
-            .max(trace.ray_count() as f64 * 13.0);
+        let per_step = (trace.total_samples as f64).max(trace.ray_count() as f64 * 13.0);
         let iterations = (390e6 / per_step).ceil() as u32;
-        let recipe = TrainingRecipe {
-            iterations,
-            ..TrainingRecipe::paper_scale()
-        };
+        let recipe = TrainingRecipe { iterations, ..TrainingRecipe::paper_scale() };
         let plan = plan_training(&chip, &trace, &recipe);
         // Planner's step time is exactly iterations × one step.
         let expected = step.seconds * iterations as f64;
@@ -109,11 +104,6 @@ fn training_plans_are_instant_on_every_scene() {
             "{}: planner disagrees with the chip simulation",
             kind.name()
         );
-        assert!(
-            plan.fits(2.6),
-            "{}: plan takes {:.2} s",
-            kind.name(),
-            plan.overlapped_seconds()
-        );
+        assert!(plan.fits(2.6), "{}: plan takes {:.2} s", kind.name(), plan.overlapped_seconds());
     }
 }

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate, covering the subset the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! The container building this repository has no access to crates.io,
+//! so this from-scratch harness measures each benchmark with a simple
+//! warmup + timed-batch scheme and prints a median time per iteration
+//! (no statistical analysis, HTML reports, or baseline comparison).
+//! Swap back to the registry crate when network access exists.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a value away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Overrides the sample count (accepted for API compatibility; the
+    /// stand-in keeps its fixed scheme).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement time (accepted for API
+    /// compatibility).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time its hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median per-iteration cost over several
+    /// batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and batch-size calibration: aim for batches of at
+        // least ~2 ms so Instant overhead is negligible.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let mut samples = Vec::with_capacity(7);
+        for _ in 0..7 {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    match bencher.median_ns {
+        Some(ns) if ns >= 1e9 => println!("bench {id:<48} {:>12.3} s/iter", ns / 1e9),
+        Some(ns) if ns >= 1e6 => println!("bench {id:<48} {:>12.3} ms/iter", ns / 1e6),
+        Some(ns) if ns >= 1e3 => println!("bench {id:<48} {:>12.3} us/iter", ns / 1e3),
+        Some(ns) => println!("bench {id:<48} {:>12.1} ns/iter", ns),
+        None => println!("bench {id:<48} (no measurement)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.bench_function(BenchmarkId::from_parameter(4), |b| {
+            b.iter(|| black_box(2 + 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,288 @@
+//! Offline stand-in for the `crossbeam` crate, covering the
+//! `crossbeam::deque` subset the workspace's execution layer uses:
+//! [`deque::Injector`], [`deque::Worker`], [`deque::Stealer`], and
+//! [`deque::Steal`].
+//!
+//! The container building this repository has no access to crates.io,
+//! so this from-scratch implementation backs the same API with
+//! mutex-guarded deques instead of lock-free Chase–Lev deques. The
+//! scheduling semantics (FIFO injector, per-worker deques, stealing)
+//! are identical; only the synchronization cost differs, and the
+//! execution layer's determinism contract never depends on scheduling
+//! order. Swap back to the registry crate when network access exists.
+
+#![warn(missing_docs)]
+
+/// Work-stealing deques, mirroring `crossbeam-deque`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether the attempt succeeded.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Whether the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Extracts the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Chains a fallback attempt on `Empty`/`Retry`, preferring to
+        /// report `Retry` over `Empty` when both fail.
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Success(t) => Steal::Success(t),
+                Steal::Empty => f(),
+                Steal::Retry => match f() {
+                    Steal::Success(t) => Steal::Success(t),
+                    _ => Steal::Retry,
+                },
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        /// Folds attempts: the first success wins; otherwise `Retry` if
+        /// any attempt needs retrying, else `Empty`.
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut retry = false;
+            for s in iter {
+                match s {
+                    Steal::Success(t) => return Steal::Success(t),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    /// A FIFO injector queue shared by all workers.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`'s local deque and pops
+        /// one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().expect("injector lock");
+            let first = match q.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            // Move up to half the remaining queue over to the worker.
+            let extra = q.len().div_ceil(2).min(16);
+            let mut dest_q = dest.queue.lock().expect("worker lock");
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(t) => dest_q.push_back(t),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+    }
+
+    /// A per-thread deque whose owner pushes and pops locally while
+    /// other threads steal through [`Stealer`] handles.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        fifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), fifo: true }
+        }
+
+        /// Creates a LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), fifo: false }
+        }
+
+        /// Pushes a task onto the deque.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker lock").push_back(task);
+        }
+
+        /// Pops a task in the deque's order (FIFO or LIFO).
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().expect("worker lock");
+            if self.fifo {
+                q.pop_front()
+            } else {
+                q.pop_back()
+            }
+        }
+
+        /// Whether the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker lock").is_empty()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// A handle for stealing tasks from another thread's [`Worker`].
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the front of the victim's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("stealer lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("stealer lock").is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj: Injector<u32> = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn batch_steal_moves_tasks_to_worker() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w: Worker<u32> = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty());
+        let stealer = w.stealer();
+        let mut seen = Vec::new();
+        while let Some(t) = w.pop() {
+            seen.push(t);
+        }
+        assert!(seen.windows(2).all(|p| p[0] < p[1]), "worker keeps order: {seen:?}");
+        assert!(stealer.is_empty());
+    }
+
+    #[test]
+    fn steal_collect_prefers_success() {
+        let attempts = vec![Steal::Empty, Steal::Retry, Steal::Success(7u8)];
+        let folded: Steal<u8> = attempts.into_iter().collect();
+        assert_eq!(folded, Steal::Success(7));
+        let folded: Steal<u8> = vec![Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(folded.is_retry());
+        let folded: Steal<u8> = vec![Steal::Empty, Steal::Empty].into_iter().collect();
+        assert!(folded.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing_drains_everything() {
+        let inj: Injector<usize> = Injector::new();
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let w = Worker::new_fifo();
+                    loop {
+                        let task = w.pop().or_else(|| inj.steal_batch_and_pop(&w).success());
+                        match task {
+                            Some(_) => {
+                                total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline stand-in for the `proptest` crate, covering the subset the
+//! workspace's property tests use: the [`proptest!`] macro with
+//! `pattern in strategy` and `ident: Type` bindings, range/tuple/`Vec`
+//! strategies, `prop_map`, and the `prop_assert*`/`prop_assume!`
+//! macros.
+//!
+//! The container building this repository has no access to crates.io,
+//! so this from-scratch implementation runs each property over a fixed
+//! number of pseudo-random cases (no shrinking, no persisted failure
+//! corpus). Failures panic like ordinary assertions. Swap back to the
+//! registry crate when network access exists.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each property runs. Kept modest so the whole
+/// suite stays fast; upstream proptest defaults to 256 with shrinking.
+pub const CASES: u32 = 64;
+
+/// The deterministic case generator driving all strategies
+/// (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl Default for TestRng {
+    fn default() -> Self {
+        TestRng { state: 0x5EED_5EED_5EED_5EED }
+    }
+}
+
+impl TestRng {
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test-case values, mirroring `proptest`'s `Strategy`.
+pub trait Strategy: Sized {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f`, panicking if none is found in
+    /// a reasonable number of attempts.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F> {
+        Filter { inner: self, f, whence }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted attempts: {}", self.whence);
+    }
+}
+
+/// A strategy producing one fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = self.end as f64 - self.start as f64;
+                let v = self.start as f64 + rng.unit_f64() * span;
+                let v = v as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let v = lo as f64 + rng.unit_f64() * (hi as f64 - lo as f64);
+                (v as $t).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(hi > lo, "cannot sample from empty range");
+                (lo + (rng.next_u64() as u128 % (hi - lo) as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(hi >= lo, "cannot sample from empty range");
+                (lo + (rng.next_u64() as u128 % (hi - lo + 1) as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!(
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.size.clone(), rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A type with a default generation strategy, backing plain `ident:
+/// Type` bindings in [`proptest!`].
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        (rng.unit_f64() as f32 - 0.5) * 2e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Builds the default strategy of a type, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The common import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        Strategy,
+    };
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, panicking with context on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block,) => {
+        $body
+    };
+    ($rng:ident, $body:block, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::Strategy::generate(&($strat), &mut *$rng);
+        $crate::__proptest_bind!($rng, $body, $($($rest)*)?);
+    };
+    ($rng:ident, $body:block, $id:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $id: $ty = $crate::Arbitrary::arbitrary(&mut *$rng);
+        $crate::__proptest_bind!($rng, $body, $($($rest)*)?);
+    };
+}
+
+/// Defines property tests: each `fn name(bindings) { body }` item
+/// becomes a `#[test]` running the body over [`CASES`] generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng = $crate::TestRng::default();
+            for __proptest_case in 0..$crate::CASES {
+                let _ = __proptest_case;
+                #[allow(clippy::redundant_closure_call)]
+                (|| {
+                    #[allow(unused_mut)]
+                    let mut __rng = &mut __proptest_rng;
+                    $crate::__proptest_bind!(__rng, $body, $($params)*);
+                })();
+            }
+        }
+        $crate::proptest!($($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..10, 0u32..10).prop_map(|(a, b)| (a.min(b), a.max(b)))
+    }
+
+    proptest! {
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 0u32..100, f in -2.0f32..2.0, w in 0.0f32..=1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+
+        /// Mapped tuple strategies and plain-type bindings both work.
+        #[test]
+        fn mapped_and_plain_bindings(p in pair(), raw: u16, arr: [u32; 3]) {
+            prop_assert!(p.0 <= p.1);
+            prop_assert_eq!(u32::from(raw) >> 16, 0);
+            prop_assert_eq!(arr.len(), 3);
+        }
+
+        /// Assumptions discard cases without failing.
+        #[test]
+        fn assume_discards(v in -10i32..10) {
+            prop_assume!(v != 0);
+            prop_assert_ne!(v, 0);
+        }
+
+        /// Vec strategies respect the size range.
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u8..255, 0..32)) {
+            prop_assert!(v.len() < 32);
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The container building this repository has no access to crates.io,
+//! so this crate re-implements exactly the surface the workspace uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] extension methods `gen`, `gen_range`, `gen_bool`, and
+//! `fill_bytes`.
+//!
+//! **Value-stream compatibility:** the workspace's tests were authored
+//! against real `rand 0.8` value streams (seeded training runs assert
+//! loss/PSNR/traffic thresholds), so this stand-in reproduces them
+//! bit-for-bit: `SmallRng` is xoshiro256++ with rand 0.8.5's
+//! SplitMix64-based `seed_from_u64`, `next_u32` truncates `next_u64`,
+//! `Standard` floats use the 24/53-bit multiply method,
+//! integer ranges use widening-multiply rejection sampling, and float
+//! ranges use the `[1, 2)` mantissa-fill method. Swap back to the
+//! registry crate when network access exists.
+
+#![warn(missing_docs)]
+
+/// Core random-number generation interface (mirrors `rand_core`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes (little-endian `next_u64`
+    /// chunks, as `rand_core::impls::fill_bytes_via_next`).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            let len = tail.len();
+            tail.copy_from_slice(&self.next_u64().to_le_bytes()[..len]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seeding interface; the workspace only uses
+/// [`SeedableRng::seed_from_u64`].
+pub trait SeedableRng: Sized {
+    /// Deterministically derives a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing extension methods, blanket-implemented for every
+/// [`RngCore`] like the real crate's `Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value from the `Standard` distribution.
+    fn gen<T: StandardValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (Bernoulli, fixed-point
+    /// `p * 2^64` threshold like the real crate).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside range [0.0, 1.0]");
+        if p >= 1.0 {
+            // The real crate's saturated threshold consumes no
+            // randomness.
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Random-number generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast generator: xoshiro256++, exactly as `rand
+    /// 0.8.5`'s `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result =
+                self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        /// SplitMix64 expansion of the seed into the four state words,
+        /// matching `Xoshiro256PlusPlus::seed_from_u64`.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *word = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// Types samplable from the `Standard` distribution via [`Rng::gen`].
+pub trait StandardValue: Sized {
+    /// Draws one value, consuming the same randomness as the real
+    /// crate's `Standard` distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_from_u32 {
+    ($($ty:ty),*) => {$(
+        impl StandardValue for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+
+macro_rules! standard_from_u64 {
+    ($($ty:ty),*) => {$(
+        impl StandardValue for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+standard_from_u32!(u8, i8, u16, i16, u32, i32);
+standard_from_u64!(u64, i64, usize, isize);
+
+impl StandardValue for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Low half first, as the real crate.
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl StandardValue for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Compare the most significant bit (low bits of weak
+        // generators can carry patterns).
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardValue for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24-bit multiply method, [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardValue for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit multiply method, [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable uniformly from a range via [`Rng::gen_range`].
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+fn wmul32(x: u32, y: u32) -> (u32, u32) {
+    let t = x as u64 * y as u64;
+    ((t >> 32) as u32, t as u32)
+}
+
+fn wmul64(x: u64, y: u64) -> (u64, u64) {
+    let t = x as u128 * y as u128;
+    ((t >> 64) as u64, t as u64)
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wmul:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                // Widening-multiply rejection sampling with the
+                // largest zone that is a multiple of `range`.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = <$u_large as StandardValue>::sample_standard(rng);
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high.wrapping_sub(low) as $unsigned).wrapping_add(1) as $u_large;
+                if range == 0 {
+                    // The range covers the whole type.
+                    return <$ty as StandardValue>::sample_standard(rng);
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = <$u_large as StandardValue>::sample_standard(rng);
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, wmul32);
+uniform_int_impl!(i8, u8, u32, wmul32);
+uniform_int_impl!(u16, u16, u32, wmul32);
+uniform_int_impl!(i16, u16, u32, wmul32);
+uniform_int_impl!(u32, u32, u32, wmul32);
+uniform_int_impl!(i32, u32, u32, wmul32);
+uniform_int_impl!(u64, u64, u64, wmul64);
+uniform_int_impl!(i64, u64, u64, wmul64);
+uniform_int_impl!(usize, usize, u64, wmul64);
+uniform_int_impl!(isize, usize, u64, wmul64);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $one_exponent_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low < high, "cannot sample empty range");
+                let scale = high - low;
+                loop {
+                    // Mantissa fill gives a value in [1, 2); shift to
+                    // [0, 1) before scaling to avoid overflow.
+                    let fraction =
+                        <$uty as StandardValue>::sample_standard(rng) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits($one_exponent_bits | fraction);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    // Rounding can land exactly on `high`; redraw.
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                debug_assert!(low <= high, "cannot sample empty range");
+                let scale = high - low;
+                let fraction =
+                    <$uty as StandardValue>::sample_standard(rng) >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits($one_exponent_bits | fraction);
+                ((value1_2 - 1.0) * scale + low).min(high)
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f32, u32, 9u32, 0x3F80_0000u32);
+uniform_float_impl!(f64, u64, 12u64, 0x3FF0_0000_0000_0000u64);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(
+            SmallRng::seed_from_u64(42).next_u64(),
+            SmallRng::seed_from_u64(43).next_u64()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&v));
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&j));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn standard_floats_are_unit_interval_with_sane_mean() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sum = 0.0f64;
+        const N: usize = 4096;
+        for _ in 0..N {
+            let v: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v as f64;
+        }
+        let mean = sum / N as f64;
+        assert!((0.4..0.6).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..1000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((150..350).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

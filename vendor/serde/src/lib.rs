@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only references serde behind the off-by-default
+//! `serde` feature of `fusion3d-nerf` (derive attributes under
+//! `cfg_attr`), so this stub exists purely to satisfy dependency
+//! resolution while the build container has no crates.io access. It
+//! exposes empty `Serialize`/`Deserialize` marker traits and no derive
+//! macros; enabling the `serde` feature of `fusion3d-nerf` requires
+//! the real crate. Swap back to the registry crate when network
+//! access exists.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
