@@ -339,8 +339,13 @@ impl<E: crate::encoding::Encoding> Trainer<E> {
         // size, and shards merge in shard-index order below, so the
         // updated parameters are bitwise-identical for any thread
         // count.
-        let shard_count = GRAD_SHARDS.min(batch.len()).max(1);
-        let rays_per_shard = batch.len().div_ceil(shard_count);
+        let max_shards = GRAD_SHARDS.min(batch.len()).max(1);
+        let rays_per_shard = batch.len().div_ceil(max_shards);
+        // Re-derive the count from the shard size so the last shard
+        // ends exactly at the batch boundary: batch sizes that are not
+        // multiples of GRAD_SHARDS would otherwise leave trailing
+        // shards whose start lies past the end of the batch.
+        let shard_count = batch.len().div_ceil(rays_per_shard.max(1)).max(1);
         while self.shards.len() < shard_count {
             self.shards.push(ShardScratch::new(&self.model));
         }
@@ -357,7 +362,7 @@ impl<E: crate::encoding::Encoding> Trainer<E> {
         let shard_stats: Vec<(f64, usize)> =
             Pool::new().run_tasks(&mut shards[..shard_count], |index, scratch| {
                 scratch.grads.zero();
-                let start = index * rays_per_shard;
+                let start = (index * rays_per_shard).min(batch_ref.len());
                 let end = (start + rays_per_shard).min(batch_ref.len());
                 let mut loss_sum = 0.0f64;
                 let mut sample_count = 0usize;
@@ -568,6 +573,22 @@ mod tests {
         assert!(
             trainer.data_volume().total_intermediate() > trainer.data_volume().end_to_end_io / 100
         );
+    }
+
+    #[test]
+    fn step_handles_batch_sizes_not_multiple_of_shard_count() {
+        let scene = ProceduralScene::synthetic(SyntheticScene::Chair);
+        let dataset = Dataset::from_scene(&scene, 3, 16, 0.9);
+        // Sizes where ceil-division sharding would place a shard start
+        // past the end of the batch if the count were not re-derived.
+        for rays_per_batch in [17, 50, 100] {
+            let config = TrainerConfig { rays_per_batch, ..test_config() };
+            let mut trainer = Trainer::new(test_model(9), config);
+            let mut rng = SmallRng::seed_from_u64(10);
+            let stats = trainer.step(&dataset, &mut rng);
+            assert_eq!(stats.rays, rays_per_batch);
+            assert!(stats.loss.is_finite() && stats.loss >= 0.0);
+        }
     }
 
     #[test]
