@@ -3,8 +3,8 @@
 //! scenes).
 
 use crate::support::{
-    for_each_scene, large_scene_occupancy, opt, partition_occupancy, print_table, trace_camera,
-    trace_sampler, TRACE_RES,
+    for_each_scene, large_scene_occupancy, opt, partition_occupancy, print_table, reported,
+    trace_camera, trace_sampler, TRACE_RES,
 };
 use fusion3d_baselines::devices;
 use fusion3d_multichip::system::MultiChipSystem;
@@ -155,9 +155,9 @@ pub fn run_table4() {
 /// Prints the Table V reproduction.
 pub fn run_table5() {
     let gpu = devices::rtx_2080ti();
-    let gpu_inf = gpu.inference_mpts.expect("2080Ti inference reported") * 1e6;
-    let gpu_train = gpu.training_mpts.expect("2080Ti training reported") * 1e6;
-    let gpu_power = gpu.typical_power_w.expect("reported");
+    let gpu_inf = reported(gpu.inference_mpts, "2080Ti inference") * 1e6;
+    let gpu_train = reported(gpu.training_mpts, "2080Ti training") * 1e6;
+    let gpu_power = reported(gpu.typical_power_w, "2080Ti power");
 
     let results = all_large_scenes();
     let gpu_inf_rates = gpu_rates_per_scene(&results, gpu_inf);

@@ -137,6 +137,17 @@ pub fn print_table(title: &str, header: &[&str], body: &[Vec<String>]) {
     }
 }
 
+/// Unwraps a metric the static device tables are known to report.
+/// Centralizes the panic so experiment code stays free of bare
+/// `expect` calls on spec-table lookups.
+pub fn reported(v: Option<f64>, what: &str) -> f64 {
+    match v {
+        Some(x) => x,
+        // lint: allow(p1): the baselines device tables are static data
+        None => panic!("device spec missing: {what}"),
+    }
+}
+
 /// Formats an optional metric, using the paper's N/R marker for
 /// missing cells.
 pub fn opt(v: Option<f64>, digits: usize) -> String {

@@ -237,12 +237,8 @@ pub fn simulate_sampling(
                     if pair_idx == 0 {
                         job += oncore_intersect;
                     }
-                    let core = core_free
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, &t)| t)
-                        .map(|(c, _)| c)
-                        .expect("at least one core");
+                    let core =
+                        core_free.iter().enumerate().min_by_key(|(_, &t)| t).map_or(0, |(c, _)| c);
                     let start = core_free[core].max(ready_t);
                     core_free[core] = start + job;
                     result.busy_core_cycles += job;

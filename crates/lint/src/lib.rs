@@ -1,0 +1,141 @@
+//! `fusion3d-lint` — workspace-aware static analysis for the
+//! Fusion-3D reproduction.
+//!
+//! The cycle-accurate simulator's headline guarantee is that its
+//! numbers are reproducible: bitwise-identical across runs, machines,
+//! and worker counts. That guarantee is cheap to break silently — one
+//! `HashMap` iteration in a result path, one `thread_rng()`, one
+//! narrowing cast in an energy total — so this crate machine-checks
+//! the discipline on every change. It lexes the workspace's Rust
+//! sources with a small hand-rolled tokenizer (no `syn`; the repo
+//! builds offline) and enforces five repo-specific rules:
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | D1   | no `HashMap`/`HashSet` in result-bearing crates |
+//! | D2   | no wall-clock / ambient randomness / env reads in simulator crates |
+//! | D3   | no raw `std::thread` outside `crates/par` |
+//! | P1   | no `unwrap()`/`expect()`/`panic!` family in library code |
+//! | A1   | no lossy `as` casts in cycle/energy accounting modules |
+//!
+//! Legitimate exceptions carry a per-line escape hatch:
+//!
+//! ```text
+//! let forced = std::env::var(THREADS_ENV); // lint: allow(d2): worker count never affects results
+//! ```
+//!
+//! The directive suppresses the named rule(s) on its own line and the
+//! line directly below, so it can trail the offending expression or
+//! sit above a rustfmt-wrapped statement.
+//!
+//! Known over-approximations, by design: any attribute containing the
+//! identifier `test` (e.g. `#[cfg(test)]`, `#[test]`) marks its item
+//! as test code and exempts it from every rule; `cfg(not(test))` is
+//! unused in this workspace and would be exempted too. Out-of-line
+//! `#[cfg(test)] mod x;` declarations are not followed — test modules
+//! live inline or under `tests/`, which is never scanned.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::Finding;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of linting a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by path, line, rule.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints a single source string as if it lived at `rel_path`
+/// (workspace-relative, forward slashes). The path determines which
+/// rules apply — `crates/core/src/energy.rs` is in A1 scope,
+/// `crates/bench/src/lib.rs` is exempt from D2, and so on.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    rules::check_file(rel_path, &lexer::lex(source))
+}
+
+/// Lints every library source tree in the workspace rooted at `root`:
+/// `crates/*/src/**/*.rs` plus the façade crate's `src/`. Test
+/// directories (`tests/`, `benches/`, `examples/`) are intentionally
+/// out of scope, as is `vendor/`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in sorted_entries(&crates_dir)? {
+            let src = krate.join("src");
+            if src.is_dir() {
+                collect_rs_files(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs_files(&root_src, &mut files)?;
+    }
+
+    let mut report = Report::default();
+    for path in files {
+        let source = fs::read_to_string(&path)?;
+        let rel = relative_path(root, &path);
+        report.findings.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(report)
+}
+
+/// Locates the workspace root at or above `start` by looking for the
+/// directory that contains both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalize to forward slashes so scopes match on every platform.
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?.into_iter().map(|e| e.path()).collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in sorted_entries(dir)? {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|ext| ext == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,356 @@
+//! The Fusion-3D invariant rules and the token-stream checker.
+//!
+//! Every rule guards a property the simulator's numbers depend on:
+//!
+//! * **D1** — no `HashMap`/`HashSet` in result-bearing crates.
+//!   Iteration order of the std hash containers is randomized per
+//!   process, so any result that flows through one is not reproducible.
+//!   Use `BTreeMap`/`BTreeSet` or a sorted `Vec`.
+//! * **D2** — no wall-clock (`std::time`), ambient randomness
+//!   (`thread_rng`/`from_entropy`) or environment reads (`std::env`)
+//!   in simulator/NeRF crates. Timing belongs in `bench`; randomness
+//!   must come from a seeded generator passed in by the caller.
+//! * **D3** — no raw `std::thread` use outside `crates/par`. All
+//!   parallelism flows through the deterministic fixed-chunk
+//!   combinators so results are identical at any worker count.
+//! * **P1** — no `unwrap()`/`expect()`/`panic!`-family macros in
+//!   non-test library code. Fallible paths return `Result`; the few
+//!   legitimate invariant panics carry an allow comment naming why.
+//! * **A1** — no lossy `as` casts (narrowing integers, `f32`
+//!   truncation, float→int) inside the cycle/energy accounting
+//!   modules, where a silent wrap corrupts reported numbers.
+//!
+//! A finding on line `L` is suppressed by `// lint: allow(<rule>)` on
+//! line `L` or `L - 1`.
+
+use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`"D1"`, …, `"A1"`).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Crates whose outputs feed reported results: hash-container
+/// iteration (D1) and ambient nondeterminism (D2) are banned here.
+const RESULT_BEARING_CRATES: &[&str] = &["nerf", "core", "mem", "multichip", "arith", "par"];
+
+/// Accounting modules where lossy casts silently corrupt cycle and
+/// energy totals (A1).
+const ACCOUNTING_FILES: &[&str] = &[
+    "crates/core/src/energy.rs",
+    "crates/core/src/bandwidth.rs",
+    "crates/core/src/pipeline_sim.rs",
+    "crates/mem/src/energy.rs",
+    "crates/multichip/src/comm.rs",
+];
+
+/// Cast targets that lose information when fed 64-bit cycle/energy
+/// quantities (A1). `u64`/`u128`/`f64` remain legal targets; anything
+/// narrower — or `usize`, whose width is platform-dependent — is not.
+const LOSSY_CAST_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "i8", "i16", "i32", "i64", "f32", "usize", "isize"];
+
+/// Integer cast targets: a float literal cast to any of these is a
+/// truncation even when the target is 64-bit wide.
+const INT_CAST_TARGETS: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Panicking macros covered by P1 (matched when followed by `!`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Which rules apply to the file at `path` (workspace-relative,
+/// forward slashes).
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    d1: bool,
+    d2: bool,
+    d3: bool,
+    p1: bool,
+    a1: bool,
+}
+
+fn crate_of(path: &str) -> Option<&str> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        rest.split('/').next()
+    } else if path.starts_with("src/") {
+        Some("fusion3d")
+    } else {
+        None
+    }
+}
+
+fn scope_of(path: &str) -> Scope {
+    let krate = crate_of(path).unwrap_or("");
+    let result_bearing = RESULT_BEARING_CRATES.contains(&krate);
+    Scope {
+        d1: result_bearing,
+        d2: result_bearing,
+        d3: krate != "par",
+        // Binaries may panic on bad CLI input; libraries must not.
+        p1: !path.contains("/bin/"),
+        a1: ACCOUNTING_FILES.contains(&path),
+    }
+}
+
+/// Runs every applicable rule over one lexed file.
+pub fn check_file(path: &str, file: &LexedFile) -> Vec<Finding> {
+    let scope = scope_of(path);
+    let in_test = test_mask(&file.tokens);
+    let mut findings = Vec::new();
+    let tokens = &file.tokens;
+
+    let report = |rule: &'static str, line: u32, message: String, out: &mut Vec<Finding>| {
+        if !file.is_allowed(rule, line) {
+            out.push(Finding { rule, path: path.to_string(), line, message });
+        }
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let text = tok.text.as_str();
+        let is_ident = tok.kind == TokenKind::Ident;
+
+        // D1: hash containers in result-bearing crates.
+        if scope.d1 && is_ident && (text == "HashMap" || text == "HashSet") {
+            report(
+                "D1",
+                tok.line,
+                format!(
+                    "`{text}` has randomized iteration order; use BTreeMap/BTreeSet \
+                     or a sorted Vec in result-bearing crates"
+                ),
+                &mut findings,
+            );
+        }
+
+        // D2: wall-clock, ambient randomness, environment reads.
+        if scope.d2 && is_ident {
+            let ambient = match text {
+                "Instant" | "SystemTime" => Some("wall-clock time"),
+                "thread_rng" | "from_entropy" => Some("ambient randomness"),
+                _ => None,
+            };
+            if let Some(what) = ambient {
+                report(
+                    "D2",
+                    tok.line,
+                    format!("`{text}` injects {what} into a simulator/NeRF crate"),
+                    &mut findings,
+                );
+            }
+            if matches_path(tokens, i, &["std", "env"]) || matches_path(tokens, i, &["std", "time"])
+            {
+                report(
+                    "D2",
+                    tok.line,
+                    format!(
+                        "`std::{}` makes simulator behaviour depend on the ambient \
+                         process environment",
+                        tokens[i + 3].text
+                    ),
+                    &mut findings,
+                );
+            }
+        }
+
+        // D3: raw threading outside crates/par.
+        if scope.d3
+            && is_ident
+            && text == "thread"
+            && (matches_path(tokens, i, &["thread", "spawn"])
+                || matches_path(tokens, i, &["thread", "scope"]))
+        {
+            report(
+                "D3",
+                tok.line,
+                "raw std::thread use outside crates/par; route parallelism through \
+                 the deterministic fusion3d-par combinators"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+        if scope.d3 && is_ident && text == "std" && matches_path(tokens, i, &["std", "thread"]) {
+            report(
+                "D3",
+                tok.line,
+                "raw std::thread use outside crates/par; route parallelism through \
+                 the deterministic fusion3d-par combinators"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+
+        // P1: panicking constructs in library code.
+        if scope.p1 && is_ident {
+            let method_call = |name: &str| {
+                text == name
+                    && i > 0
+                    && tokens[i - 1].text == "."
+                    && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+            };
+            if method_call("unwrap") || method_call("expect") {
+                report(
+                    "P1",
+                    tok.line,
+                    format!(
+                        "`.{text}()` in library code; return a Result or document the \
+                         invariant with a lint allow comment"
+                    ),
+                    &mut findings,
+                );
+            }
+            if PANIC_MACROS.contains(&text) && tokens.get(i + 1).is_some_and(|t| t.text == "!") {
+                report(
+                    "P1",
+                    tok.line,
+                    format!("`{text}!` in library code; return a Result or document the invariant"),
+                    &mut findings,
+                );
+            }
+        }
+
+        // A1: lossy casts in accounting modules.
+        if scope.a1 && is_ident && text == "as" {
+            if let Some(target) = tokens.get(i + 1) {
+                let narrowing = target.kind == TokenKind::Ident
+                    && LOSSY_CAST_TARGETS.contains(&target.text.as_str());
+                let float_to_int = i > 0
+                    && tokens[i - 1].kind == TokenKind::Float
+                    && target.kind == TokenKind::Ident
+                    && INT_CAST_TARGETS.contains(&target.text.as_str());
+                if narrowing || float_to_int {
+                    report(
+                        "A1",
+                        tok.line,
+                        format!(
+                            "lossy `as {}` cast in an accounting module; widen to \
+                             u64/f64 or use a checked conversion",
+                            target.text
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+    }
+
+    // Multiple patterns can fire on one construct (e.g. `std::time::
+    // Instant` trips both the path and the ident match); keep one
+    // finding per (rule, line).
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    findings
+}
+
+/// Returns whether the `std` path segment at `tokens[i]` begins the
+/// two-segment path `segs[0]::segs[1]` (e.g. `std :: env`).
+fn matches_path(tokens: &[Token], i: usize, segs: &[&str; 2]) -> bool {
+    tokens[i].text == segs[0]
+        && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+        && tokens.get(i + 2).is_some_and(|t| t.text == ":")
+        && tokens.get(i + 3).is_some_and(|t| t.text == segs[1])
+}
+
+/// Marks every token inside test-only code: items annotated
+/// `#[test]`, `#[cfg(test)]` (including `cfg(any(test, …))`), or any
+/// other attribute mentioning `test`. The body is the brace block of
+/// the annotated item; `#[cfg(test)] mod x;` (no inline body) marks
+/// nothing — out-of-line test modules should live under `tests/`.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        let (attr_end, mut is_test) = scan_attribute(tokens, i + 1);
+        let mut j = attr_end;
+        // Fold in any further attributes on the same item.
+        while tokens.get(j).is_some_and(|t| t.text == "#")
+            && tokens.get(j + 1).is_some_and(|t| t.text == "[")
+        {
+            let (next_end, also_test) = scan_attribute(tokens, j + 1);
+            is_test |= also_test;
+            j = next_end;
+        }
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Find the item body: first `{` at bracket/paren depth 0
+        // (stopping at a bare `;` for body-less items).
+        let mut depth = 0i32;
+        let mut body_start = None;
+        while let Some(tok) = tokens.get(j) {
+            match tok.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        // Skip to the matching close brace.
+        let mut braces = 0i32;
+        let mut end = open;
+        while let Some(tok) = tokens.get(end) {
+            match tok.text.as_str() {
+                "{" => braces += 1,
+                "}" => {
+                    braces -= 1;
+                    if braces == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        for slot in mask.iter_mut().take(end + 1).skip(i) {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Scans one attribute whose `[` is at `open`; returns (index one past
+/// the closing `]`, whether any identifier inside is `test`).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut is_test = false;
+    let mut i = open;
+    while let Some(tok) = tokens.get(i) {
+        match tok.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, is_test);
+                }
+            }
+            "test" if tok.kind == TokenKind::Ident => is_test = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, is_test)
+}

@@ -1,0 +1,213 @@
+//! Fixture tests: for every rule, at least one positive snippet that
+//! must be flagged and one negative snippet that must stay clean —
+//! including the `// lint: allow(<rule>)` escape hatch and the
+//! test-code exemption.
+
+use fusion3d_lint::lint_source;
+
+/// Rules fired by linting `source` as if it lived at `path`.
+fn rules_at(path: &str, source: &str) -> Vec<&'static str> {
+    lint_source(path, source).into_iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_flags_hash_containers_in_result_bearing_crates() {
+    let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n";
+    let fired = rules_at("crates/core/src/config.rs", src);
+    assert_eq!(fired, vec!["D1", "D1"], "both mentions flagged");
+
+    let set = "fn g() { let s: std::collections::HashSet<u32> = Default::default(); }\n";
+    assert_eq!(rules_at("crates/nerf/src/hash.rs", set), vec!["D1"]);
+}
+
+#[test]
+fn d1_ignores_out_of_scope_crates_and_ordered_containers() {
+    let src = "use std::collections::HashMap;\n";
+    assert!(rules_at("crates/bench/src/lib.rs", src).is_empty(), "bench is not result-bearing");
+    assert!(rules_at("crates/lint/src/lib.rs", src).is_empty());
+
+    let ordered = "use std::collections::{BTreeMap, BTreeSet};\nfn f(m: &BTreeMap<u32, u32>) {}\n";
+    assert!(rules_at("crates/core/src/config.rs", ordered).is_empty());
+}
+
+#[test]
+fn d1_allow_comment_suppresses() {
+    let src = "// lint: allow(d1): keyed lookups only, never iterated\n\
+               use std::collections::HashMap;\n";
+    assert!(rules_at("crates/mem/src/banks.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_flags_wall_clock_randomness_and_env() {
+    assert_eq!(
+        rules_at("crates/core/src/chip.rs", "fn f() { let t = std::time::Instant::now(); }"),
+        vec!["D2"],
+        "one finding per line even when two patterns overlap"
+    );
+    assert_eq!(
+        rules_at("crates/nerf/src/trainer.rs", "fn f() { let mut rng = rand::thread_rng(); }"),
+        vec!["D2"]
+    );
+    assert_eq!(
+        rules_at("crates/par/src/lib.rs", "fn f() -> bool { std::env::var(\"X\").is_ok() }"),
+        vec!["D2"]
+    );
+    assert_eq!(rules_at("crates/mem/src/sram.rs", "fn f(t: std::time::SystemTime) {}"), vec!["D2"]);
+}
+
+#[test]
+fn d2_ignores_bench_and_comments() {
+    let src = "fn f() { let t = std::time::Instant::now(); }";
+    assert!(rules_at("crates/bench/src/support.rs", src).is_empty(), "timing belongs in bench");
+    let comment = "// std::time::Instant is banned here\nfn f() {}\n";
+    assert!(rules_at("crates/core/src/chip.rs", comment).is_empty());
+}
+
+#[test]
+fn d2_allow_comment_suppresses() {
+    let src = "fn f() -> bool {\n\
+               // lint: allow(d2): worker count never affects results\n\
+               std::env::var(\"FUSION3D_THREADS\").is_ok()\n\
+               }\n";
+    assert!(rules_at("crates/par/src/lib.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_flags_raw_threads_outside_par() {
+    assert_eq!(
+        rules_at("crates/nerf/src/render.rs", "fn f() { std::thread::spawn(|| {}); }"),
+        vec!["D3"]
+    );
+    assert_eq!(
+        rules_at("crates/core/src/noc.rs", "use std::thread;\nfn f() { thread::scope(|_| {}); }"),
+        vec!["D3", "D3"]
+    );
+}
+
+#[test]
+fn d3_exempts_crates_par() {
+    let src = "use std::thread;\nfn f() { thread::scope(|_| {}); }";
+    assert!(rules_at("crates/par/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn d3_allow_comment_suppresses() {
+    let src = "// lint: allow(d3)\nuse std::thread;\n";
+    assert!(rules_at("crates/core/src/noc.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- P1
+
+#[test]
+fn p1_flags_panicking_constructs_in_library_code() {
+    assert_eq!(
+        rules_at("crates/arith/src/half.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }"),
+        vec!["P1"]
+    );
+    assert_eq!(
+        rules_at("crates/mem/src/banks.rs", "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }"),
+        vec!["P1"]
+    );
+    assert_eq!(rules_at("src/lib.rs", "fn f() { panic!(\"boom\"); }"), vec!["P1"]);
+    assert_eq!(rules_at("crates/core/src/chip.rs", "fn f() { unreachable!() }"), vec!["P1"]);
+    assert_eq!(rules_at("crates/core/src/chip.rs", "fn f() { todo!() }"), vec!["P1"]);
+}
+
+#[test]
+fn p1_ignores_test_code_binaries_and_lookalikes() {
+    let test_mod = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(rules_at("crates/nerf/src/io.rs", test_mod).is_empty());
+
+    let test_fn = "#[test]\nfn t() { Some(1).unwrap(); }\n";
+    assert!(rules_at("crates/nerf/src/io.rs", test_fn).is_empty());
+
+    let bin = "fn main() { std::fs::read(\"x\").unwrap(); }";
+    assert!(rules_at("src/bin/fusion3d.rs", bin).is_empty(), "binaries may panic on bad input");
+    assert!(rules_at("crates/bench/src/bin/table1.rs", bin).is_empty());
+
+    // Lookalikes that must NOT fire: unwrap_or, expect_err, a string
+    // containing "panic!", and `#[should_panic]` attributes.
+    let clean = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+                 fn g(x: Result<u32, u32>) -> u32 { x.expect_err(\"e\") }\n\
+                 const S: &str = \"panic!\";\n";
+    assert!(rules_at("crates/core/src/chip.rs", clean).is_empty());
+}
+
+#[test]
+fn p1_allow_comment_suppresses_trailing_and_preceding() {
+    let trailing = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(p1): invariant\n";
+    assert!(rules_at("crates/core/src/chip.rs", trailing).is_empty());
+
+    let preceding = "fn f(x: Option<u32>) -> u32 {\n\
+                     // lint: allow(p1): invariant\n\
+                     x.unwrap()\n\
+                     }\n";
+    assert!(rules_at("crates/core/src/chip.rs", preceding).is_empty());
+}
+
+// ---------------------------------------------------------------- A1
+
+#[test]
+fn a1_flags_lossy_casts_in_accounting_modules() {
+    assert_eq!(
+        rules_at("crates/core/src/energy.rs", "fn f(c: u64) -> u32 { c as u32 }"),
+        vec!["A1"]
+    );
+    assert_eq!(
+        rules_at("crates/mem/src/energy.rs", "fn f(e: f64) -> f32 { e as f32 }"),
+        vec!["A1"]
+    );
+    assert_eq!(
+        rules_at("crates/multichip/src/comm.rs", "const C: u64 = 2.5 as u64;"),
+        vec!["A1"],
+        "float literal to int is lossy even at 64-bit width"
+    );
+    assert_eq!(
+        rules_at("crates/core/src/bandwidth.rs", "fn f(c: u64) -> usize { c as usize }"),
+        vec!["A1"],
+        "usize width is platform-dependent"
+    );
+}
+
+#[test]
+fn a1_ignores_widening_casts_and_other_files() {
+    let widening = "fn f(c: u32) -> u64 { c as u64 }\nfn g(c: u64) -> f64 { c as f64 }\n";
+    assert!(rules_at("crates/core/src/energy.rs", widening).is_empty());
+
+    // The same lossy cast outside the accounting modules is A1-exempt.
+    let lossy = "fn f(c: u64) -> u32 { c as u32 }";
+    assert!(rules_at("crates/core/src/chip.rs", lossy).is_empty());
+}
+
+#[test]
+fn a1_allow_comment_suppresses() {
+    let src = "// lint: allow(a1): accumulator drain floors by design\n\
+               fn f(acc: f64) -> u64 { acc as u32 as u64 }\n";
+    assert!(rules_at("crates/core/src/pipeline_sim.rs", src).is_empty());
+}
+
+// ------------------------------------------------------- reporting
+
+#[test]
+fn findings_carry_path_line_and_rule() {
+    let src = "fn a() {}\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let findings = lint_source("crates/core/src/chip.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "P1");
+    assert_eq!(findings[0].path, "crates/core/src/chip.rs");
+    assert_eq!(findings[0].line, 2);
+    assert!(findings[0].message.contains("unwrap"));
+}
+
+#[test]
+fn one_allow_covers_multiple_rules() {
+    let src = "// lint: allow(d1, p1)\n\
+               fn f(m: &std::collections::HashMap<u32, u32>) -> u32 { m.get(&0).unwrap() + 0 }\n";
+    assert!(rules_at("crates/core/src/chip.rs", src).is_empty());
+}

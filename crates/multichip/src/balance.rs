@@ -12,6 +12,34 @@
 use fusion3d_nerf::occupancy::OccupancyGrid;
 use fusion3d_nerf::sampler::RayWorkload;
 
+/// Errors from gate rebalancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceError {
+    /// No gates were supplied; there is nothing to balance.
+    NoGates,
+    /// The gates do not share a resolution, so cells cannot move
+    /// between them.
+    ResolutionMismatch {
+        /// Resolution of the first gate.
+        expected: u32,
+        /// First differing resolution encountered.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BalanceError::NoGates => write!(f, "need at least one gate"),
+            BalanceError::ResolutionMismatch { expected, found } => {
+                write!(f, "gates must share a resolution: found {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
 /// Per-chip load summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -52,7 +80,7 @@ fn imbalance(loads: &[u64]) -> f64 {
     if loads.is_empty() {
         return 1.0;
     }
-    let max = *loads.iter().max().expect("non-empty") as f64;
+    let max = loads.iter().copied().fold(0u64, u64::max) as f64;
     let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
     if mean > 0.0 {
         max / mean
@@ -70,22 +98,38 @@ fn imbalance(loads: &[u64]) -> f64 {
 /// Returns the number of cells moved. The union of occupied cells is
 /// preserved — rebalancing only changes ownership, never coverage.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `gates` is empty or resolutions differ.
-pub fn rebalance_gates(gates: &mut [OccupancyGrid], tolerance: f64) -> usize {
-    assert!(!gates.is_empty(), "need at least one gate");
-    let resolution = gates[0].resolution();
-    assert!(gates.iter().all(|g| g.resolution() == resolution), "gates must share a resolution");
+/// Returns [`BalanceError`] if `gates` is empty or resolutions
+/// differ.
+pub fn rebalance_gates(gates: &mut [OccupancyGrid], tolerance: f64) -> Result<usize, BalanceError> {
+    let Some(first) = gates.first() else {
+        return Err(BalanceError::NoGates);
+    };
+    let resolution = first.resolution();
+    if let Some(bad) = gates.iter().find(|g| g.resolution() != resolution) {
+        return Err(BalanceError::ResolutionMismatch {
+            expected: resolution,
+            found: bad.resolution(),
+        });
+    }
     let mut moved = 0;
     loop {
         let loads: Vec<usize> = gates.iter().map(|g| g.occupied_cells().count()).collect();
-        let (heavy, &heavy_load) =
-            loads.iter().enumerate().max_by_key(|(_, &l)| l).expect("non-empty");
-        let (light, &light_load) =
-            loads.iter().enumerate().min_by_key(|(_, &l)| l).expect("non-empty");
+        // First-index min/max keeps the scan deterministic and avoids
+        // an unwrap on the (non-empty by construction) load vector.
+        let (mut heavy, mut light) = (0usize, 0usize);
+        for (i, &load) in loads.iter().enumerate() {
+            if load > loads[heavy] {
+                heavy = i;
+            }
+            if load < loads[light] {
+                light = i;
+            }
+        }
+        let (heavy_load, light_load) = (loads[heavy], loads[light]);
         if heavy == light || heavy_load as f64 <= (light_load as f64 + 1.0) * (1.0 + tolerance) {
-            return moved;
+            return Ok(moved);
         }
         // Move one cell owned *only* by the heavy gate (moving a
         // shared cell would change nothing or lose coverage).
@@ -99,7 +143,7 @@ pub fn rebalance_gates(gates: &mut [OccupancyGrid], tolerance: f64) -> usize {
                 moved += 1;
             }
             // Every heavy cell is shared: nothing exclusive to move.
-            None => return moved,
+            None => return Ok(moved),
         }
     }
 }
@@ -157,7 +201,7 @@ mod tests {
             v
         };
         let mut gates = [a, b];
-        let moved = rebalance_gates(&mut gates, 0.1);
+        let moved = rebalance_gates(&mut gates, 0.1).expect("valid gates");
         assert!(moved > 0);
         let (la, lb) =
             (gates[0].occupied_cells().count() as f64, gates[1].occupied_cells().count() as f64);
@@ -186,7 +230,7 @@ mod tests {
             b.set_cell(cell, true);
         }
         let mut gates = [b, a];
-        let moved = rebalance_gates(&mut gates, 0.05);
+        let moved = rebalance_gates(&mut gates, 0.05).expect("valid gates");
         // Only exclusive cells (30..40) can move.
         assert!(moved <= 10);
         for cell in 0..30 {
@@ -208,15 +252,25 @@ mod tests {
         }
         let before: Vec<usize> = gates.iter().map(|g| g.occupied_cells().count()).collect();
         assert!(imbalance(&before.iter().map(|&c| c as u64).collect::<Vec<_>>()) > 1.5);
-        rebalance_gates(&mut gates, 0.1);
+        rebalance_gates(&mut gates, 0.1).expect("valid gates");
         let after: Vec<u64> = gates.iter().map(|g| g.occupied_cells().count() as u64).collect();
         assert!(imbalance(&after) < 1.15, "rebalancing failed: {after:?}");
     }
 
     #[test]
-    #[should_panic(expected = "share a resolution")]
     fn mismatched_resolutions_rejected() {
         let mut gates = [OccupancyGrid::new(4, 0.0), OccupancyGrid::new(8, 0.0)];
-        rebalance_gates(&mut gates, 0.1);
+        assert_eq!(
+            rebalance_gates(&mut gates, 0.1),
+            Err(BalanceError::ResolutionMismatch { expected: 4, found: 8 })
+        );
+        let err = BalanceError::ResolutionMismatch { expected: 4, found: 8 };
+        assert!(err.to_string().contains("share a resolution"));
+    }
+
+    #[test]
+    fn empty_gates_rejected() {
+        assert_eq!(rebalance_gates(&mut [], 0.1), Err(BalanceError::NoGates));
+        assert!(BalanceError::NoGates.to_string().contains("at least one gate"));
     }
 }

@@ -34,7 +34,7 @@ pub mod comm;
 pub mod moe;
 pub mod system;
 
-pub use balance::{rebalance_gates, LoadReport};
+pub use balance::{rebalance_gates, BalanceError, LoadReport};
 pub use comm::{layer_split_bytes, moe_bytes, moe_communication_saving, FrameWorkload};
 pub use moe::{Expert, MoeNerf, MoeTrainer};
 pub use system::{LinkModel, MultiChipConfig, MultiChipSystem, SystemReport};

@@ -28,10 +28,12 @@ impl Pose {
     /// Panics if `eye == target` or if `up` is parallel to the view
     /// direction (the frame would be degenerate).
     pub fn look_at(eye: Vec3, target: Vec3, up_hint: Vec3) -> Self {
+        // lint: allow(p1): documented panic — a degenerate frame is a caller bug
         let forward = (target - eye).try_normalize().expect("look_at requires eye != target");
         let right = forward
             .cross(up_hint)
             .try_normalize()
+            // lint: allow(p1): documented panic — a degenerate frame is a caller bug
             .expect("up hint must not be parallel to the view direction");
         let up = right.cross(forward);
         Pose { position: eye, right, up, forward }

@@ -101,6 +101,7 @@ impl DenseGrid {
     ///
     /// Panics if the configuration fails [`DenseGridConfig::validate`].
     pub fn with_domain(config: DenseGridConfig, domain: Aabb) -> Self {
+        // lint: allow(p1): documented panic — constructors reject invalid configs
         config.validate().expect("invalid dense grid config");
         DenseGrid { config, domain, params: vec![0.0; config.param_count()] }
     }

@@ -209,6 +209,7 @@ impl HashGrid {
     ///
     /// Panics if the configuration fails [`HashGridConfig::validate`].
     pub fn new(config: HashGridConfig) -> Self {
+        // lint: allow(p1): documented panic — constructors reject invalid configs
         config.validate().expect("invalid hash grid config");
         let resolutions = (0..config.levels).map(|l| config.level_resolution(l)).collect();
         HashGrid { config, resolutions, params: vec![0.0; config.param_count()] }

@@ -201,17 +201,25 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(slice)
     }
+    /// Reads exactly `N` bytes into a fixed array (the checked,
+    /// panic-free counterpart of `take(N).try_into()`).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("sized")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn f32(&mut self) -> Result<f32, DecodeError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+        Ok(f32::from_le_bytes(self.array()?))
     }
     fn params(&mut self, out: &mut [f32], precision: Precision) -> Result<(), DecodeError> {
         match precision {

@@ -249,6 +249,7 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // lint: allow(p1): the Index contract requires an out-of-bounds panic
             _ => panic!("Vec3 index out of range: {index}"),
         }
     }
@@ -264,6 +265,7 @@ impl IndexMut<usize> for Vec3 {
             0 => &mut self.x,
             1 => &mut self.y,
             2 => &mut self.z,
+            // lint: allow(p1): the Index contract requires an out-of-bounds panic
             _ => panic!("Vec3 index out of range: {index}"),
         }
     }

@@ -103,6 +103,7 @@ impl MlpCache {
     ///
     /// Panics if no forward pass has populated the cache.
     pub fn output(&self) -> &[f32] {
+        // lint: allow(p1): documented panic — reading before forward() is a caller bug
         self.activations.last().expect("cache is empty; call forward first")
     }
 }
@@ -151,6 +152,7 @@ impl Mlp {
     /// Output dimension.
     #[inline]
     pub fn output_dim(&self) -> usize {
+        // lint: allow(p1): invariant — Mlp::new asserts dims.len() >= 2
         *self.dims.last().expect("dims is never empty")
     }
 

@@ -60,6 +60,9 @@ pub fn current_threads() -> usize {
     if forced > 0 {
         return forced;
     }
+    // The pool's determinism contract makes every combinator
+    // thread-count-invariant, so this env read cannot affect results.
+    // lint: allow(d2): worker count never affects results
     if let Ok(value) = std::env::var(THREADS_ENV) {
         if let Ok(parsed) = value.trim().parse::<usize>() {
             if parsed > 0 {
@@ -216,6 +219,9 @@ impl Pool {
 
         slots
             .into_iter()
+            // The deque seeding hands every index to exactly one
+            // worker before the scope joins, so every slot is filled.
+            // lint: allow(p1): invariant — every task index ran exactly once
             .map(|slot| slot.into_inner().expect("every task index ran exactly once"))
             .collect()
     }

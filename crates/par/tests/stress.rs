@@ -1,0 +1,86 @@
+//! Thread-pool stress: hundreds of small rounds at 1/2/8 workers,
+//! asserting bitwise-identical results every time. The lint's D3 rule
+//! keeps raw threading out of the workspace; this test is the runtime
+//! net that keeps the one sanctioned pool honest under exactly the
+//! conditions where races surface — many short-lived scopes with
+//! skewed, tiny workloads.
+
+use fusion3d_par::Pool;
+
+/// Deliberately order-sensitive f32 accumulation: any drift in chunk
+/// geometry or reduction order changes the bits.
+fn weight(range: std::ops::Range<usize>, salt: usize) -> f32 {
+    range.map(|i| 1.0f32 / ((i + salt) as f32 + 1.0)).sum()
+}
+
+#[test]
+fn hundreds_of_parallel_chunk_rounds_are_bitwise_stable() {
+    for round in 0..300 {
+        let len = 1 + (round * 37) % 211;
+        let chunk = 1 + round % 17;
+        let reference: Vec<u32> = Pool::with_threads(1)
+            .parallel_chunks(len, chunk, |_, r| weight(r, round).to_bits())
+            .to_vec();
+        for threads in [2, 8] {
+            let got: Vec<u32> = Pool::with_threads(threads)
+                .parallel_chunks(len, chunk, |_, r| weight(r, round).to_bits())
+                .to_vec();
+            assert_eq!(reference, got, "round {round}, len {len}, threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn hundreds_of_map_reduce_rounds_are_bitwise_stable() {
+    for round in 0..300 {
+        let len = 1 + (round * 13) % 307;
+        let chunk = 1 + round % 11;
+        let run = |threads: usize| -> u32 {
+            Pool::with_threads(threads)
+                .parallel_map_reduce(len, chunk, |_, r| weight(r, round), 0.0f32, |a, x| a + x)
+                .to_bits()
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(reference, run(threads), "round {round}, len {len}, threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn hundreds_of_sharded_task_rounds_are_bitwise_stable() {
+    for round in 0..200 {
+        let shards = 1 + round % 16;
+        let run = |threads: usize| -> Vec<u32> {
+            let mut states = vec![0.0f32; shards];
+            Pool::with_threads(threads).run_tasks(&mut states, |index, acc| {
+                for i in 0..50 {
+                    *acc += 1.0 / ((index * 50 + i + round) as f32 + 1.0);
+                }
+                acc.to_bits()
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(reference, run(threads), "round {round}, shards {shards}");
+        }
+    }
+}
+
+#[test]
+fn skewed_flat_map_rounds_preserve_order() {
+    // Chunk costs skew heavily (quadratic tail) so stealing actually
+    // rebalances; element order must still be exactly input order.
+    for round in 0..100 {
+        let len = 64 + round % 64;
+        let out: Vec<usize> = Pool::with_threads(8).parallel_flat_map(len, 5, |index, r| {
+            let spin = (index % 7) * (index % 7) * 40;
+            let mut acc = 0usize;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i);
+            }
+            r.map(|v| v + acc.wrapping_mul(0)).collect()
+        });
+        assert_eq!(out, (0..len).collect::<Vec<usize>>(), "round {round}");
+    }
+}

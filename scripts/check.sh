@@ -6,6 +6,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release
 cargo test --workspace -q
+# Repo-specific invariants (determinism, panic-freedom, accounting
+# safety): fails on any finding. Add --json to diff findings in CI.
+cargo run --release -q -p fusion3d-lint
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 echo "All tier-1 checks passed."
