@@ -19,6 +19,13 @@
 //! * **A1** — no lossy `as` casts (narrowing integers, `f32`
 //!   truncation, float→int) inside the cycle/energy accounting
 //!   modules, where a silent wrap corrupts reported numbers.
+//! * **H1** — no `Vec::new`/`vec![…]`/`.clone()` inside the hot-path
+//!   kernel modules (`nerf::encoding`, `nerf::mlp`, `nerf::render`).
+//!   The batched kernels promise an allocation-free per-sample loop;
+//!   fresh vectors or clones there silently reintroduce per-sample
+//!   heap traffic. Reuse the structure-of-arrays scratch buffers, or
+//!   carry a `// lint: allow(H1): why` comment on deliberate cold
+//!   paths.
 //!
 //! A finding on line `L` is suppressed by `// lint: allow(<rule>)` on
 //! line `L` or `L - 1`.
@@ -66,6 +73,11 @@ const INT_CAST_TARGETS: &[&str] =
 /// Panicking macros covered by P1 (matched when followed by `!`).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// Hot-path kernel modules with an allocation-free contract (H1): the
+/// batched SoA kernels of the NeRF compute core.
+const HOT_PATH_FILES: &[&str] =
+    &["crates/nerf/src/encoding.rs", "crates/nerf/src/mlp.rs", "crates/nerf/src/render.rs"];
+
 /// Which rules apply to the file at `path` (workspace-relative,
 /// forward slashes).
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +87,7 @@ struct Scope {
     d3: bool,
     p1: bool,
     a1: bool,
+    h1: bool,
 }
 
 fn crate_of(path: &str) -> Option<&str> {
@@ -97,6 +110,7 @@ fn scope_of(path: &str) -> Scope {
         // Binaries may panic on bad CLI input; libraries must not.
         p1: !path.contains("/bin/"),
         a1: ACCOUNTING_FILES.contains(&path),
+        h1: HOT_PATH_FILES.contains(&path),
     }
 }
 
@@ -214,6 +228,44 @@ pub fn check_file(path: &str, file: &LexedFile) -> Vec<Finding> {
                     "P1",
                     tok.line,
                     format!("`{text}!` in library code; return a Result or document the invariant"),
+                    &mut findings,
+                );
+            }
+        }
+
+        // H1: allocations and clones in hot-path kernel modules.
+        if scope.h1 && is_ident {
+            if text == "vec" && tokens.get(i + 1).is_some_and(|t| t.text == "!") {
+                report(
+                    "H1",
+                    tok.line,
+                    "`vec![…]` allocates in a hot-path kernel module; reuse a \
+                     scratch buffer sized once per batch"
+                        .to_string(),
+                    &mut findings,
+                );
+            }
+            if matches_path(tokens, i, &["Vec", "new"]) {
+                report(
+                    "H1",
+                    tok.line,
+                    "`Vec::new` in a hot-path kernel module; reuse a scratch \
+                     buffer sized once per batch"
+                        .to_string(),
+                    &mut findings,
+                );
+            }
+            if text == "clone"
+                && i > 0
+                && tokens[i - 1].text == "."
+                && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+            {
+                report(
+                    "H1",
+                    tok.line,
+                    "`.clone()` copies in a hot-path kernel module; borrow or \
+                     write into a reused buffer"
+                        .to_string(),
                     &mut findings,
                 );
             }

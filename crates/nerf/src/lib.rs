@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adam;
+pub mod batch;
 pub mod camera;
 pub mod dataset;
 pub mod dense_grid;
@@ -56,11 +57,13 @@ pub mod model;
 pub mod occupancy;
 pub mod pipeline;
 pub mod quant;
+pub mod reference;
 pub mod render;
 pub mod sampler;
 pub mod scenes;
 pub mod trainer;
 
+pub use batch::{KernelScratch, RayScratch, SampleBatch};
 pub use camera::{Camera, Pose};
 pub use dataset::Dataset;
 pub use dense_grid::{DenseGrid, DenseGridConfig};

@@ -94,6 +94,7 @@ impl MlpCache {
 
     /// Creates a cache pre-sized for `mlp`.
     pub fn for_mlp(mlp: &Mlp) -> Self {
+        // lint: allow(h1): one-time cache construction, not a per-sample loop
         MlpCache { activations: mlp.dims.iter().map(|&d| vec![0.0; d]).collect() }
     }
 
@@ -107,6 +108,99 @@ impl MlpCache {
         self.activations.last().expect("cache is empty; call forward first")
     }
 }
+
+/// Structure-of-arrays forward/backward scratch for the batched MLP
+/// kernels.
+///
+/// Activations are stored sample-major: entry `(s, d)` of layer `l`
+/// lives at `activations[l][s * dims[l] + d]`. One cache serves both
+/// [`Mlp::forward_batch`] and [`Mlp::backward_batch`]; keep one per
+/// worker and the kernels resize it only when the batch shape changes.
+#[derive(Debug, Clone, Default)]
+pub struct MlpBatchCache {
+    /// `activations[0]` is the input batch; `activations[l]` the
+    /// post-activation output batch of layer `l - 1`.
+    activations: Vec<Vec<f32>>,
+    /// dL/d(pre-activation) of the layer currently being walked.
+    delta: Vec<f32>,
+    /// dL/d(post-activation) of the previous layer.
+    d_prev: Vec<f32>,
+    /// Column-major (`[k][o]`) copy of the current layer's weights, so
+    /// the forward GEMM's inner loop loads one contiguous weight row
+    /// per input feature instead of [`OUTPUT_TILE`] strided values.
+    wt: Vec<f32>,
+    batch: usize,
+}
+
+impl MlpBatchCache {
+    /// Creates an empty cache sized lazily on first use.
+    pub fn new() -> Self {
+        MlpBatchCache::default()
+    }
+
+    /// Number of samples in the batch the cache currently holds.
+    #[inline]
+    pub fn batch_len(&self) -> usize {
+        self.batch
+    }
+
+    /// Total buffer capacity in elements, for the hot-loop
+    /// allocation-freedom debug assertion.
+    #[cfg(debug_assertions)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.activations.iter().map(Vec::capacity).sum::<usize>()
+            + self.delta.capacity()
+            + self.d_prev.capacity()
+            + self.wt.capacity()
+    }
+
+    /// Sizes every buffer for a batch of `n` samples of an MLP with
+    /// layer dimensions `dims`. Idempotent: a matching shape leaves
+    /// the buffers untouched, so pre-sizing here keeps the kernels
+    /// allocation-free afterwards.
+    pub(crate) fn begin(&mut self, dims: &[usize], n: usize) {
+        self.activations.resize_with(dims.len(), Vec::default);
+        for (a, &d) in self.activations.iter_mut().zip(dims.iter()) {
+            if a.len() != n * d {
+                a.resize(n * d, 0.0);
+            }
+        }
+        let max_dim = dims.iter().copied().max().unwrap_or(0);
+        if self.delta.len() != n * max_dim {
+            self.delta.resize(n * max_dim, 0.0);
+        }
+        if self.d_prev.len() != n * max_dim {
+            self.d_prev.resize(n * max_dim, 0.0);
+        }
+        let max_weights = dims.windows(2).map(|w| w[0] * w[1]).max().unwrap_or(0);
+        if self.wt.len() != max_weights {
+            self.wt.resize(max_weights, 0.0);
+        }
+        self.batch = n;
+    }
+
+    /// The sample-major output batch (`batch_len() * output_dim`
+    /// values) stored by the last [`Mlp::forward_batch`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has populated the cache.
+    pub fn output(&self) -> &[f32] {
+        // lint: allow(p1): documented panic — reading before forward_batch() is a caller bug
+        self.activations.last().expect("cache is empty; call forward_batch first")
+    }
+}
+
+/// Samples per register tile of the blocked GEMM kernels.
+const SAMPLE_TILE: usize = 4;
+/// Output features per register tile of the blocked GEMM kernels.
+/// Eight features give the forward kernel one 256-bit lane of
+/// independent accumulation chains per sample; widening tiles never
+/// changes results because each output element keeps its own
+/// k-ascending chain.
+const OUTPUT_TILE: usize = 8;
+/// Input features per register tile of the gradient GEMM kernels.
+const INPUT_TILE: usize = 4;
 
 impl Mlp {
     /// Creates an MLP with the given layer dimensions (input first,
@@ -124,6 +218,7 @@ impl Mlp {
     ) -> Self {
         assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
         assert!(dims.iter().all(|&d| d > 0), "layer dimensions must be positive");
+        // lint: allow(h1): one-time parameter allocation at construction
         let mut params = Vec::new();
         for w in dims.windows(2) {
             let (fan_in, fan_out) = (w[0], w[1]);
@@ -253,6 +348,7 @@ impl Mlp {
     /// Panics if `input.len() != self.input_dim()`.
     pub fn forward<'c>(&self, input: &[f32], cache: &'c mut MlpCache) -> &'c [f32] {
         assert_eq!(input.len(), self.input_dim(), "input size mismatch");
+        // lint: allow(h1): scalar reference path — hot loops use forward_batch
         cache.activations.resize_with(self.dims.len(), Vec::new);
         cache.activations[0].clear();
         cache.activations[0].extend_from_slice(input);
@@ -340,6 +436,7 @@ impl Mlp {
 
             // Propagate to the previous layer (or the input).
             let weights = &self.params[off..off + in_dim * out_dim];
+            // lint: allow(h1): scalar reference path — hot loops use backward_batch
             let mut d_prev = vec![0.0f32; in_dim];
             for o in 0..out_dim {
                 let d = delta[o];
@@ -358,6 +455,348 @@ impl Mlp {
                     .zip(cache.activations[layer].iter())
                     .map(|(&d, &y)| d * act.derivative_from_output(y))
                     .collect();
+            }
+        }
+    }
+
+    /// Runs the forward pass for a sample-major batch of `n` inputs
+    /// (`inputs[s * input_dim() ..]` is sample `s`), retaining
+    /// activations in `cache`, and returns the sample-major output
+    /// slice (`n * output_dim()` values).
+    ///
+    /// Layers are evaluated with a blocked GEMM
+    /// ([`SAMPLE_TILE`] × [`OUTPUT_TILE`] register tiles) whose inner
+    /// reduction walks input features in ascending order per output
+    /// element — **bitwise-identical** to calling [`Mlp::forward`] on
+    /// each sample, which is the determinism contract the `reference`
+    /// module's differential tests enforce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n * self.input_dim()`.
+    pub fn forward_batch<'c>(
+        &self,
+        inputs: &[f32],
+        n: usize,
+        cache: &'c mut MlpBatchCache,
+    ) -> &'c [f32] {
+        assert_eq!(inputs.len(), n * self.input_dim(), "input batch size mismatch");
+        cache.begin(&self.dims, n);
+        cache.activations[0].copy_from_slice(inputs);
+        for layer in 0..self.layer_count() {
+            let (in_dim, out_dim) = (self.dims[layer], self.dims[layer + 1]);
+            let off = self.layer_offset(layer);
+            let weights = &self.params[off..off + in_dim * out_dim];
+            let biases = &self.params[off + in_dim * out_dim..off + in_dim * out_dim + out_dim];
+            let act = self.activation_for_layer(layer);
+            // Re-lay the weights column-major so the GEMM's inner loop
+            // reads them contiguously; the copy is amortized over the
+            // whole batch. Transposition reorders loads, not sums, so
+            // results stay bit-identical.
+            let wt = &mut cache.wt[..in_dim * out_dim];
+            for (o, row) in weights.chunks_exact(in_dim).enumerate() {
+                for (k, &w) in row.iter().enumerate() {
+                    wt[k * out_dim + o] = w;
+                }
+            }
+            // Split the borrow: read activations[layer], write
+            // activations[layer + 1].
+            let (head, tail) = cache.activations.split_at_mut(layer + 1);
+            gemm_bias_act(&head[layer], weights, wt, biases, act, n, in_dim, out_dim, &mut tail[0]);
+        }
+        cache.output()
+    }
+
+    /// Runs the backward pass for the batch whose activations are in
+    /// `cache`, the batched counterpart of [`Mlp::backward`].
+    ///
+    /// * `d_output` — sample-major gradient w.r.t. the network output
+    ///   (`batch * output_dim()` values).
+    /// * `d_input` — filled with the sample-major gradient w.r.t. the
+    ///   input (`batch * input_dim()` values).
+    /// * `grads` — flat gradient accumulator with the layout of
+    ///   [`Mlp::params`]; gradients are *added*.
+    ///
+    /// Every gradient element accumulates its per-sample contributions
+    /// in ascending sample order, so the result is bitwise-identical
+    /// to looping [`Mlp::backward`] over the samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatches or if `cache` does not hold a
+    /// forward pass for this network.
+    pub fn backward_batch(
+        &self,
+        cache: &mut MlpBatchCache,
+        d_output: &[f32],
+        d_input: &mut [f32],
+        grads: &mut [f32],
+    ) {
+        let MlpBatchCache { activations, delta, d_prev, batch, .. } = cache;
+        let n = *batch;
+        assert_eq!(d_output.len(), n * self.output_dim(), "output gradient size mismatch");
+        assert_eq!(d_input.len(), n * self.input_dim(), "input gradient size mismatch");
+        assert_eq!(grads.len(), self.params.len(), "parameter gradient size mismatch");
+        assert_eq!(activations.len(), self.dims.len(), "cache does not match network");
+
+        // delta = dL/d(pre-activation) of the output layer.
+        let out_dim = self.output_dim();
+        let act = self.activation_for_layer(self.layer_count() - 1);
+        for ((d, &g), &y) in delta[..n * out_dim]
+            .iter_mut()
+            .zip(d_output.iter())
+            .zip(activations[self.layer_count()].iter())
+        {
+            *d = g * act.derivative_from_output(y);
+        }
+
+        for layer in (0..self.layer_count()).rev() {
+            let (in_dim, out_dim) = (self.dims[layer], self.dims[layer + 1]);
+            let off = self.layer_offset(layer);
+            let x = &activations[layer];
+            assert_eq!(x.len(), n * in_dim, "cached activation size mismatch");
+
+            // Weight and bias gradients.
+            {
+                let (gw, gb) =
+                    grads[off..off + in_dim * out_dim + out_dim].split_at_mut(in_dim * out_dim);
+                grad_gemm(&delta[..n * out_dim], x, n, in_dim, out_dim, gw, gb);
+            }
+
+            // Propagate to the previous layer (or the input).
+            let weights = &self.params[off..off + in_dim * out_dim];
+            dinput_gemm(
+                &delta[..n * out_dim],
+                weights,
+                n,
+                in_dim,
+                out_dim,
+                &mut d_prev[..n * in_dim],
+            );
+
+            if layer == 0 {
+                d_input.copy_from_slice(&d_prev[..n * in_dim]);
+            } else {
+                let act = self.activation_for_layer(layer - 1);
+                for ((d, &dp), &y) in
+                    delta[..n * in_dim].iter_mut().zip(d_prev[..n * in_dim].iter()).zip(x.iter())
+                {
+                    *d = dp * act.derivative_from_output(y);
+                }
+            }
+        }
+    }
+}
+
+/// Blocked GEMM + bias + activation: `y[s][o] = act(b[o] + Σ_k
+/// w[o][k] · x[s][k])` over a sample-major batch.
+///
+/// [`SAMPLE_TILE`] × [`OUTPUT_TILE`] register tiles give the CPU
+/// thirty-two independent accumulation chains instead of the scalar
+/// path's one, and `wt` (the column-major copy of `weights` the
+/// caller maintains) makes the inner loop's weight loads contiguous.
+/// The `k` reduction stays in ascending order for every `(s, o)`
+/// element — the per-element addition sequence, and so the bits,
+/// match [`Mlp::forward`] exactly.
+#[allow(clippy::too_many_arguments)] // flat GEMM signature: dims + both weight layouts
+fn gemm_bias_act(
+    x: &[f32],
+    weights: &[f32],
+    wt: &[f32],
+    biases: &[f32],
+    act: Activation,
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    y: &mut [f32],
+) {
+    let s_full = n - n % SAMPLE_TILE;
+    let o_full = out_dim - out_dim % OUTPUT_TILE;
+    for s in (0..s_full).step_by(SAMPLE_TILE) {
+        let xr: [&[f32]; SAMPLE_TILE] =
+            std::array::from_fn(|si| &x[(s + si) * in_dim..(s + si + 1) * in_dim]);
+        for o in (0..o_full).step_by(OUTPUT_TILE) {
+            let mut acc = [[0.0f32; OUTPUT_TILE]; SAMPLE_TILE];
+            for row in &mut acc {
+                row.copy_from_slice(&biases[o..o + OUTPUT_TILE]);
+            }
+            for k in 0..in_dim {
+                let w = &wt[k * out_dim + o..k * out_dim + o + OUTPUT_TILE];
+                for (si, row) in acc.iter_mut().enumerate() {
+                    let xv = xr[si][k];
+                    for (a, &wk) in row.iter_mut().zip(w.iter()) {
+                        *a += wk * xv;
+                    }
+                }
+            }
+            for (si, row) in acc.iter().enumerate() {
+                let ys = &mut y[(s + si) * out_dim + o..(s + si) * out_dim + o + OUTPUT_TILE];
+                for (out, &a) in ys.iter_mut().zip(row.iter()) {
+                    *out = act.apply(a);
+                }
+            }
+        }
+        // Output-feature tail: four samples share each weight row.
+        for o in o_full..out_dim {
+            let row = &weights[o * in_dim..(o + 1) * in_dim];
+            let mut acc = [biases[o]; SAMPLE_TILE];
+            for (k, &wk) in row.iter().enumerate() {
+                for (a, xs) in acc.iter_mut().zip(xr.iter()) {
+                    *a += wk * xs[k];
+                }
+            }
+            for (si, &a) in acc.iter().enumerate() {
+                y[(s + si) * out_dim + o] = act.apply(a);
+            }
+        }
+    }
+    // Sample tail: plain per-sample evaluation, same math as above.
+    for s in s_full..n {
+        let xs = &x[s * in_dim..(s + 1) * in_dim];
+        let ys = &mut y[s * out_dim..(s + 1) * out_dim];
+        for (o, out) in ys.iter_mut().enumerate() {
+            let row = &weights[o * in_dim..(o + 1) * in_dim];
+            let mut acc = biases[o];
+            for (w, v) in row.iter().zip(xs.iter()) {
+                acc += w * v;
+            }
+            *out = act.apply(acc);
+        }
+    }
+}
+
+/// Weight/bias gradient GEMM: `gw[o][i] += Σ_s delta[s][o] · x[s][i]`
+/// and `gb[o] += Σ_s delta[s][o]`.
+///
+/// Each gradient element is read, accumulated over samples in
+/// ascending order, and written back — exactly the addition sequence
+/// the scalar path produces when it walks one sample at a time, so
+/// the bits match [`Mlp::backward`] looped over the batch. The
+/// [`OUTPUT_TILE`] × [`INPUT_TILE`] tiling only widens the number of
+/// concurrent accumulation chains.
+fn grad_gemm(
+    delta: &[f32],
+    x: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    gw: &mut [f32],
+    gb: &mut [f32],
+) {
+    // Bias gradients: per output, sample-ascending accumulation.
+    for (o, g) in gb.iter_mut().enumerate() {
+        let mut acc = *g;
+        for s in 0..n {
+            acc += delta[s * out_dim + o];
+        }
+        *g = acc;
+    }
+    let o_full = out_dim - out_dim % OUTPUT_TILE;
+    let i_full = in_dim - in_dim % INPUT_TILE;
+    for o in (0..o_full).step_by(OUTPUT_TILE) {
+        for i in (0..i_full).step_by(INPUT_TILE) {
+            let mut acc = [[0.0f32; INPUT_TILE]; OUTPUT_TILE];
+            for (oi, row) in acc.iter_mut().enumerate() {
+                let g = &gw[(o + oi) * in_dim + i..(o + oi) * in_dim + i + INPUT_TILE];
+                row.copy_from_slice(g);
+            }
+            for s in 0..n {
+                let ds = &delta[s * out_dim + o..s * out_dim + o + OUTPUT_TILE];
+                let xs = &x[s * in_dim + i..s * in_dim + i + INPUT_TILE];
+                for (row, &d) in acc.iter_mut().zip(ds.iter()) {
+                    for (a, &v) in row.iter_mut().zip(xs.iter()) {
+                        *a += d * v;
+                    }
+                }
+            }
+            for (oi, row) in acc.iter().enumerate() {
+                let g = &mut gw[(o + oi) * in_dim + i..(o + oi) * in_dim + i + INPUT_TILE];
+                g.copy_from_slice(row);
+            }
+        }
+        // Input-feature tail.
+        for i in i_full..in_dim {
+            let mut acc = [0.0f32; OUTPUT_TILE];
+            for (oi, a) in acc.iter_mut().enumerate() {
+                *a = gw[(o + oi) * in_dim + i];
+            }
+            for s in 0..n {
+                let xv = x[s * in_dim + i];
+                let ds = &delta[s * out_dim + o..s * out_dim + o + OUTPUT_TILE];
+                for (a, &d) in acc.iter_mut().zip(ds.iter()) {
+                    *a += d * xv;
+                }
+            }
+            for (oi, &a) in acc.iter().enumerate() {
+                gw[(o + oi) * in_dim + i] = a;
+            }
+        }
+    }
+    // Output-feature tail: per element, sample-ascending.
+    for o in o_full..out_dim {
+        for i in 0..in_dim {
+            let mut acc = gw[o * in_dim + i];
+            for s in 0..n {
+                acc += delta[s * out_dim + o] * x[s * in_dim + i];
+            }
+            gw[o * in_dim + i] = acc;
+        }
+    }
+}
+
+/// Input-gradient GEMM: `d_prev[s][i] = Σ_o delta[s][o] · w[o][i]`,
+/// accumulating outputs in ascending order from zero per element —
+/// the same sequence the scalar backward's `d_prev` loop produces.
+fn dinput_gemm(
+    delta: &[f32],
+    weights: &[f32],
+    n: usize,
+    in_dim: usize,
+    out_dim: usize,
+    d_prev: &mut [f32],
+) {
+    let s_full = n - n % SAMPLE_TILE;
+    let i_full = in_dim - in_dim % INPUT_TILE;
+    for s in (0..s_full).step_by(SAMPLE_TILE) {
+        for i in (0..i_full).step_by(INPUT_TILE) {
+            let mut acc = [[0.0f32; INPUT_TILE]; SAMPLE_TILE];
+            for o in 0..out_dim {
+                let wr = &weights[o * in_dim + i..o * in_dim + i + INPUT_TILE];
+                for (si, row) in acc.iter_mut().enumerate() {
+                    let d = delta[(s + si) * out_dim + o];
+                    for (a, &w) in row.iter_mut().zip(wr.iter()) {
+                        *a += d * w;
+                    }
+                }
+            }
+            for (si, row) in acc.iter().enumerate() {
+                let dp = &mut d_prev[(s + si) * in_dim + i..(s + si) * in_dim + i + INPUT_TILE];
+                dp.copy_from_slice(row);
+            }
+        }
+        // Input-feature tail.
+        for i in i_full..in_dim {
+            let mut acc = [0.0f32; SAMPLE_TILE];
+            for o in 0..out_dim {
+                let w = weights[o * in_dim + i];
+                for (si, a) in acc.iter_mut().enumerate() {
+                    *a += delta[(s + si) * out_dim + o] * w;
+                }
+            }
+            for (si, &a) in acc.iter().enumerate() {
+                d_prev[(s + si) * in_dim + i] = a;
+            }
+        }
+    }
+    // Sample tail: plain per-sample propagation.
+    for s in s_full..n {
+        let dp = &mut d_prev[s * in_dim..(s + 1) * in_dim];
+        dp.fill(0.0);
+        let ds = &delta[s * out_dim..(s + 1) * out_dim];
+        for (o, &d) in ds.iter().enumerate() {
+            let row = &weights[o * in_dim..(o + 1) * in_dim];
+            for (a, &w) in dp.iter_mut().zip(row.iter()) {
+                *a += d * w;
             }
         }
     }

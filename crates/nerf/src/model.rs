@@ -9,6 +9,7 @@
 //! view-direction encoding feed the color MLP.
 
 use crate::adam::{Adam, AdamConfig};
+use crate::batch::KernelScratch;
 use crate::encoding::{Encoding, HashGrid, HashGridConfig};
 use crate::math::Vec3;
 use crate::mlp::{sh_encode, Activation, Mlp, MlpCache, SH_DIM};
@@ -352,6 +353,193 @@ impl<E: Encoding> NerfModel<E> {
 
         // Encoding backward: scatter into the feature tables.
         self.encoding.backward(position, &d_encoded, &mut grads.grid);
+    }
+
+    /// Sizes `scratch` for a batch of `n` samples of this model so the
+    /// batched kernels never allocate inside their sample loops.
+    fn begin_batch(&self, scratch: &mut KernelScratch, n: usize) {
+        scratch.resize(
+            n,
+            self.encoding.output_dim(),
+            self.density_mlp.output_dim(),
+            self.color_mlp.input_dim(),
+        );
+        self.encoding.reserve_batch_scratch(&mut scratch.enc, n);
+        scratch.density_cache.begin(self.density_mlp.dims(), n);
+        scratch.color_cache.begin(self.color_mlp.dims(), n);
+    }
+
+    /// Full forward pass for one ray's batch of sample points, the
+    /// batched counterpart of [`NerfModel::forward`]: all positions
+    /// share `direction` (one SH evaluation per ray instead of one per
+    /// sample). Results land in [`KernelScratch::sigma`] /
+    /// [`KernelScratch::color`]; the scratch retains everything
+    /// [`NerfModel::backward_batch`] needs.
+    ///
+    /// Bitwise-identical to looping the scalar forward over the batch
+    /// — the `reference` module's differential tests enforce this.
+    pub fn forward_batch(&self, positions: &[Vec3], direction: Vec3, scratch: &mut KernelScratch) {
+        self.forward_batch_impl(positions, direction, scratch, true);
+    }
+
+    /// [`NerfModel::forward_batch`] for inference: identical results,
+    /// but the encoding retains nothing for a backward pass, skipping
+    /// the corner-address/weight spill training needs. The render
+    /// pipeline uses this; calling [`NerfModel::backward_batch`] after
+    /// it recomputes the corner data instead of reusing it.
+    pub fn forward_batch_infer(
+        &self,
+        positions: &[Vec3],
+        direction: Vec3,
+        scratch: &mut KernelScratch,
+    ) {
+        self.forward_batch_impl(positions, direction, scratch, false);
+    }
+
+    fn forward_batch_impl(
+        &self,
+        positions: &[Vec3],
+        direction: Vec3,
+        scratch: &mut KernelScratch,
+        retain: bool,
+    ) {
+        let n = positions.len();
+        self.begin_batch(scratch, n);
+        #[cfg(debug_assertions)]
+        let stamp = scratch.capacity_fingerprint();
+
+        // Stage II: level-major batched gather.
+        let enc_dim = self.encoding.output_dim();
+        if retain {
+            self.encoding.interpolate_batch(
+                positions,
+                &mut scratch.encoded[..n * enc_dim],
+                &mut scratch.enc,
+            );
+        } else {
+            self.encoding.interpolate_batch_infer(positions, &mut scratch.encoded[..n * enc_dim]);
+        }
+
+        // Density network over the whole batch.
+        self.density_mlp.forward_batch(
+            &scratch.encoded[..n * enc_dim],
+            n,
+            &mut scratch.density_cache,
+        );
+
+        // Density activation + color-network input assembly. The SH
+        // view encoding depends only on the ray direction, so it is
+        // evaluated once and broadcast to every sample.
+        let mut sh = [0.0f32; SH_DIM];
+        sh_encode(direction.to_array(), &mut sh);
+        let d_out_dim = self.density_mlp.output_dim();
+        let c_in = self.color_mlp.input_dim();
+        {
+            let d_out = scratch.density_cache.output();
+            for s in 0..n {
+                let row = &d_out[s * d_out_dim..(s + 1) * d_out_dim];
+                let (sigma, clamped) = Self::density_activation(row[0]);
+                scratch.sigma[s] = sigma;
+                scratch.raw_clamped[s] = clamped;
+                let ci = &mut scratch.color_input[s * c_in..(s + 1) * c_in];
+                ci[..self.geo_feature_dim].copy_from_slice(&row[1..]);
+                ci[self.geo_feature_dim..].copy_from_slice(&sh);
+            }
+        }
+
+        // Color network over the whole batch.
+        self.color_mlp.forward_batch(&scratch.color_input[..n * c_in], n, &mut scratch.color_cache);
+        {
+            let rgb = scratch.color_cache.output();
+            for (s, c) in scratch.color[..n].iter_mut().enumerate() {
+                *c = Vec3::new(rgb[s * 3], rgb[s * 3 + 1], rgb[s * 3 + 2]);
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            stamp,
+            scratch.capacity_fingerprint(),
+            "batched forward allocated inside the kernel"
+        );
+    }
+
+    /// Backward pass for the batch previously run through
+    /// [`NerfModel::forward_batch`] with `scratch`, the batched
+    /// counterpart of [`NerfModel::backward`].
+    ///
+    /// `d_sigma[i]` / `d_color[i]` are the loss gradients w.r.t.
+    /// sample `i`'s density and color; parameter gradients accumulate
+    /// into `grads` with every element's per-sample contributions in
+    /// ascending sample order, so the result is bitwise-identical to
+    /// looping the scalar backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions`, `d_sigma`, or `d_color` disagree with
+    /// the batch length of the last forward pass.
+    pub fn backward_batch(
+        &self,
+        positions: &[Vec3],
+        d_sigma: &[f32],
+        d_color: &[Vec3],
+        scratch: &mut KernelScratch,
+        grads: &mut ModelGrads,
+    ) {
+        let n = scratch.batch;
+        assert_eq!(positions.len(), n, "position batch does not match the forward pass");
+        assert_eq!(d_sigma.len(), n, "density gradient batch size mismatch");
+        assert_eq!(d_color.len(), n, "color gradient batch size mismatch");
+        #[cfg(debug_assertions)]
+        let stamp = scratch.capacity_fingerprint();
+
+        // Color MLP backward over the whole batch.
+        for (row, d) in scratch.d_rgb[..n * 3].chunks_exact_mut(3).zip(d_color.iter()) {
+            row[0] = d.x;
+            row[1] = d.y;
+            row[2] = d.z;
+        }
+        let c_in = self.color_mlp.input_dim();
+        self.color_mlp.backward_batch(
+            &mut scratch.color_cache,
+            &scratch.d_rgb[..n * 3],
+            &mut scratch.d_color_in[..n * c_in],
+            &mut grads.color,
+        );
+
+        // Density MLP backward: output 0 is the density logit (dσ/draw
+        // = σ through the exponential, zero where clamped); outputs
+        // 1.. are the geometric features feeding the color network.
+        let d_out_dim = self.density_mlp.output_dim();
+        for (s, &ds) in d_sigma.iter().take(n).enumerate() {
+            let row = &mut scratch.d_density_out[s * d_out_dim..(s + 1) * d_out_dim];
+            row[0] = if scratch.raw_clamped[s] { 0.0 } else { ds * scratch.sigma[s] };
+            row[1..]
+                .copy_from_slice(&scratch.d_color_in[s * c_in..s * c_in + self.geo_feature_dim]);
+        }
+        let enc_dim = self.density_mlp.input_dim();
+        self.density_mlp.backward_batch(
+            &mut scratch.density_cache,
+            &scratch.d_density_out[..n * d_out_dim],
+            &mut scratch.d_encoded[..n * enc_dim],
+            &mut grads.density,
+        );
+
+        // Encoding backward: level-major scatter reusing the corner
+        // addresses and weights prepared by the forward pass.
+        self.encoding.backward_batch(
+            positions,
+            &scratch.d_encoded[..n * enc_dim],
+            &mut grads.grid,
+            &mut scratch.enc,
+        );
+
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            stamp,
+            scratch.capacity_fingerprint(),
+            "batched backward allocated inside the kernel"
+        );
     }
 }
 

@@ -11,14 +11,15 @@
 //! raster-order merge are independent of the thread count, so a frame
 //! is bitwise-identical whether rendered on one core or sixteen.
 
+use crate::batch::RayScratch;
 use crate::camera::Camera;
 use crate::encoding::Encoding;
 use crate::image::Image;
 use crate::math::{Ray, Vec3};
-use crate::model::{NerfModel, PointContext};
+use crate::model::NerfModel;
 use crate::occupancy::OccupancyGrid;
-use crate::render::{composite, CompositeOutput, ShadedSample};
-use crate::sampler::{sample_ray, RaySample, RayWorkload, SamplerConfig};
+use crate::render::composite_into;
+use crate::sampler::{sample_ray, sample_ray_into, RayWorkload, SamplerConfig};
 use fusion3d_par::Pool;
 
 /// Configuration shared by rendering and tracing.
@@ -42,28 +43,30 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Runs all three stages for one ray: Stage-I sampling, Stage-II/III
-/// shading of every retained sample, and compositing. The caller owns
-/// the forward context and shaded-sample buffer so frame loops reuse
-/// them across rays instead of allocating per pixel; `shaded` is
-/// cleared first.
+/// Runs all three stages for one ray through the batched kernels:
+/// Stage-I sampling into the scratch's [`crate::batch::SampleBatch`],
+/// one batched Stage-II/III model forward over every retained sample,
+/// and compositing. Returns the pixel color and final transmittance;
+/// the per-sample weights stay in `scratch.kernel.weights` for depth
+/// queries. The caller owns `scratch` so frame loops reuse one
+/// working set per worker instead of allocating per pixel.
 fn shade_ray<E: Encoding>(
     model: &NerfModel<E>,
     occupancy: &OccupancyGrid,
     ray: &Ray,
     config: &PipelineConfig,
     early_stop: bool,
-    ctx: &mut PointContext,
-    shaded: &mut Vec<ShadedSample>,
-) -> (Vec<RaySample>, CompositeOutput) {
-    let (samples, _) = sample_ray(ray, occupancy, &config.sampler);
-    shaded.clear();
-    for s in &samples {
-        let eval = model.forward(s.position, ray.direction, ctx);
-        shaded.push(ShadedSample { sigma: eval.sigma, color: eval.color, dt: s.dt });
-    }
-    let out = composite(shaded, config.background, early_stop);
-    (samples, out)
+    scratch: &mut RayScratch,
+) -> (Vec3, f32) {
+    sample_ray_into(ray, occupancy, &config.sampler, &mut scratch.samples);
+    model.forward_batch_infer(scratch.samples.positions(), ray.direction, &mut scratch.kernel);
+    scratch.kernel.build_shaded(scratch.samples.dts());
+    composite_into(
+        &scratch.kernel.shaded,
+        config.background,
+        early_stop,
+        &mut scratch.kernel.weights,
+    )
 }
 
 /// The blend-weighted mean sample parameter of one ray, or `None` for
@@ -74,17 +77,18 @@ fn shade_ray_depth<E: Encoding>(
     occupancy: &OccupancyGrid,
     ray: &Ray,
     config: &PipelineConfig,
-    ctx: &mut PointContext,
-    shaded: &mut Vec<ShadedSample>,
+    scratch: &mut RayScratch,
 ) -> Option<f32> {
     // Early stop must be off: the weighted-mean depth needs every
     // sample's exact blend weight.
-    let (samples, out) = shade_ray(model, occupancy, ray, config, false, ctx, shaded);
-    let opacity = 1.0 - out.final_transmittance;
+    let (_, final_transmittance) = shade_ray(model, occupancy, ray, config, false, scratch);
+    let opacity = 1.0 - final_transmittance;
     if opacity < 1e-3 {
         return None;
     }
-    let depth: f32 = samples.iter().zip(&out.weights).map(|(s, &w)| s.t * w).sum::<f32>() / opacity;
+    let depth: f32 =
+        scratch.samples.ts().iter().zip(&scratch.kernel.weights).map(|(&t, &w)| t * w).sum::<f32>()
+            / opacity;
     Some(depth)
 }
 
@@ -95,9 +99,8 @@ pub fn render_pixel<E: Encoding>(
     ray: &Ray,
     config: &PipelineConfig,
 ) -> Vec3 {
-    let mut ctx = PointContext::new();
-    let mut shaded = Vec::new();
-    shade_ray(model, occupancy, ray, config, config.early_stop, &mut ctx, &mut shaded).1.color
+    let mut scratch = RayScratch::new();
+    shade_ray(model, occupancy, ray, config, config.early_stop, &mut scratch).0
 }
 
 /// Renders a full frame through the end-to-end pipeline, dispatching
@@ -111,18 +114,19 @@ pub fn render_image<E: Encoding>(
 ) -> Image {
     let width = camera.width() as usize;
     let count = width * camera.height() as usize;
-    let pixels = Pool::new().parallel_flat_map(count, width.max(1), |_, range| {
-        let mut ctx = PointContext::new();
-        let mut shaded = Vec::new();
-        range
-            .map(|i| {
-                let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
-                shade_ray(model, occupancy, &ray, config, config.early_stop, &mut ctx, &mut shaded)
-                    .1
-                    .color
-            })
-            .collect()
-    });
+    let pixels = Pool::new().parallel_flat_map_with(
+        count,
+        width.max(1),
+        RayScratch::new,
+        |_, range, scratch| {
+            range
+                .map(|i| {
+                    let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
+                    shade_ray(model, occupancy, &ray, config, config.early_stop, scratch).0
+                })
+                .collect()
+        },
+    );
     let mut img = Image::new(camera.width(), camera.height());
     img.pixels_mut().copy_from_slice(&pixels);
     img
@@ -138,9 +142,8 @@ pub fn render_pixel_depth<E: Encoding>(
     ray: &Ray,
     config: &PipelineConfig,
 ) -> Option<f32> {
-    let mut ctx = PointContext::new();
-    let mut shaded = Vec::new();
-    shade_ray_depth(model, occupancy, ray, config, &mut ctx, &mut shaded)
+    let mut scratch = RayScratch::new();
+    shade_ray_depth(model, occupancy, ray, config, &mut scratch)
 }
 
 /// Renders a normalized depth map: nearer surfaces brighter, rays
@@ -156,17 +159,19 @@ pub fn render_depth_image<E: Encoding>(
 ) -> Image {
     let width = camera.width() as usize;
     let count = width * camera.height() as usize;
-    let depths: Vec<Option<f32>> =
-        Pool::new().parallel_flat_map(count, width.max(1), |_, range| {
-            let mut ctx = PointContext::new();
-            let mut shaded = Vec::new();
+    let depths: Vec<Option<f32>> = Pool::new().parallel_flat_map_with(
+        count,
+        width.max(1),
+        RayScratch::new,
+        |_, range, scratch| {
             range
                 .map(|i| {
                     let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
-                    shade_ray_depth(model, occupancy, &ray, config, &mut ctx, &mut shaded)
+                    shade_ray_depth(model, occupancy, &ray, config, scratch)
                 })
                 .collect()
-        });
+        },
+    );
     let max = depths.iter().flatten().cloned().fold(0.0f32, f32::max).max(1e-6);
     let mut img = Image::new(camera.width(), camera.height());
     for (i, d) in depths.iter().enumerate() {

@@ -1,0 +1,150 @@
+//! Scalar reference kernels for differential testing of the batched
+//! hot path.
+//!
+//! Every function here evaluates the same mathematics as the batched
+//! kernels in [`crate::encoding`], [`crate::mlp`], and
+//! [`crate::model`], but one sample at a time through the original
+//! scalar entry points. The batched kernels carry a bitwise-
+//! determinism contract: for identical inputs they must produce
+//! bit-for-bit identical f32 results to these loops. The differential
+//! tests in `tests/batched_kernels.rs` enforce that contract at
+//! several batch sizes, including sizes that are not multiples of the
+//! GEMM tile widths.
+//!
+//! These functions allocate freely and are deliberately unoptimized —
+//! they exist to be obviously correct, not fast. Production code paths
+//! must use the batched kernels.
+
+use crate::encoding::Encoding;
+use crate::math::Vec3;
+use crate::mlp::{Mlp, MlpCache};
+use crate::model::{ModelGrads, NerfModel, PointContext};
+
+/// Encodes every position through the scalar [`Encoding::interpolate`]
+/// path, returning point-major rows of `encoding.output_dim()`
+/// features.
+pub fn encode_points<E: Encoding>(encoding: &E, positions: &[Vec3]) -> Vec<f32> {
+    let dim = encoding.output_dim();
+    let mut out = vec![0.0f32; positions.len() * dim];
+    for (p, row) in positions.iter().zip(out.chunks_exact_mut(dim)) {
+        encoding.interpolate(*p, row);
+    }
+    out
+}
+
+/// Scatters feature gradients through the scalar
+/// [`Encoding::backward`] path, accumulating into `grads`. `d_out`
+/// holds point-major rows of `encoding.output_dim()` gradients.
+///
+/// # Panics
+///
+/// Panics if `d_out` is not `positions.len() * output_dim` long.
+pub fn encode_backward<E: Encoding>(
+    encoding: &E,
+    positions: &[Vec3],
+    d_out: &[f32],
+    grads: &mut [f32],
+) {
+    let dim = encoding.output_dim();
+    assert_eq!(d_out.len(), positions.len() * dim, "gradient rows do not match positions");
+    for (p, row) in positions.iter().zip(d_out.chunks_exact(dim)) {
+        encoding.backward(*p, row, grads);
+    }
+}
+
+/// Runs `n` sample-major input rows through the scalar
+/// [`Mlp::forward`] one at a time, returning sample-major output rows.
+///
+/// # Panics
+///
+/// Panics if `inputs` is not `n * mlp.input_dim()` long.
+pub fn mlp_forward(mlp: &Mlp, inputs: &[f32], n: usize) -> Vec<f32> {
+    let in_dim = mlp.input_dim();
+    assert_eq!(inputs.len(), n * in_dim, "input rows do not match the batch size");
+    let mut cache = MlpCache::new();
+    let mut out = Vec::with_capacity(n * mlp.output_dim());
+    for row in inputs.chunks_exact(in_dim) {
+        out.extend_from_slice(mlp.forward(row, &mut cache));
+    }
+    out
+}
+
+/// Runs `n` samples through the scalar [`Mlp::forward`] /
+/// [`Mlp::backward`] pair one at a time, returning
+/// `(d_inputs, param_grads)` with per-element gradient contributions
+/// accumulated in ascending sample order — the order the batched
+/// [`Mlp::backward_batch`] reproduces bitwise.
+///
+/// # Panics
+///
+/// Panics if `inputs` or `d_outputs` do not match the batch size.
+pub fn mlp_backward(
+    mlp: &Mlp,
+    inputs: &[f32],
+    n: usize,
+    d_outputs: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    let in_dim = mlp.input_dim();
+    let out_dim = mlp.output_dim();
+    assert_eq!(inputs.len(), n * in_dim, "input rows do not match the batch size");
+    assert_eq!(d_outputs.len(), n * out_dim, "gradient rows do not match the batch size");
+    let mut cache = MlpCache::new();
+    let mut d_inputs = vec![0.0f32; n * in_dim];
+    let mut grads = vec![0.0f32; mlp.param_count()];
+    for ((x, d_y), d_x) in inputs
+        .chunks_exact(in_dim)
+        .zip(d_outputs.chunks_exact(out_dim))
+        .zip(d_inputs.chunks_exact_mut(in_dim))
+    {
+        mlp.forward(x, &mut cache);
+        mlp.backward(&cache, d_y, d_x, &mut grads);
+    }
+    (d_inputs, grads)
+}
+
+/// Evaluates the full field through the scalar
+/// [`NerfModel::forward`] per sample, returning `(sigmas, colors)`.
+pub fn model_forward<E: Encoding>(
+    model: &NerfModel<E>,
+    positions: &[Vec3],
+    direction: Vec3,
+) -> (Vec<f32>, Vec<Vec3>) {
+    let mut ctx = PointContext::new();
+    let mut sigmas = Vec::with_capacity(positions.len());
+    let mut colors = Vec::with_capacity(positions.len());
+    for &p in positions {
+        let eval = model.forward(p, direction, &mut ctx);
+        sigmas.push(eval.sigma);
+        colors.push(eval.color);
+    }
+    (sigmas, colors)
+}
+
+/// Backpropagates per-sample density/color gradients through the
+/// scalar [`NerfModel::backward`] one sample at a time (forward `s`,
+/// then backward `s`), returning the accumulated parameter gradients.
+///
+/// Within every parameter element the contributions land in ascending
+/// sample order — the same order [`NerfModel::backward_batch`]
+/// produces — so the result is bitwise-comparable to the batched path.
+///
+/// # Panics
+///
+/// Panics if `d_sigma` or `d_color` do not match `positions`.
+pub fn model_backward<E: Encoding>(
+    model: &NerfModel<E>,
+    positions: &[Vec3],
+    direction: Vec3,
+    d_sigma: &[f32],
+    d_color: &[Vec3],
+) -> ModelGrads {
+    assert_eq!(d_sigma.len(), positions.len(), "density gradients do not match positions");
+    assert_eq!(d_color.len(), positions.len(), "color gradients do not match positions");
+    let mut ctx = PointContext::new();
+    let mut grads = model.alloc_grads();
+    for ((&p, &ds), &dc) in positions.iter().zip(d_sigma).zip(d_color) {
+        model.forward(p, direction, &mut ctx);
+        model.backward(p, &ctx, ds, dc, &mut grads);
+    }
+    grads
+}

@@ -62,21 +62,40 @@ pub struct SampleGrad {
 /// (their weights are zero). Training must pass `false` so that the
 /// forward pass matches the backward pass exactly.
 pub fn composite(samples: &[ShadedSample], background: Vec3, early_stop: bool) -> CompositeOutput {
+    // lint: allow(h1): convenience path — hot loops reuse a buffer via composite_into
+    let mut weights = Vec::new();
+    let (color, final_transmittance) =
+        composite_into(samples, background, early_stop, &mut weights);
+    CompositeOutput { color, final_transmittance, weights }
+}
+
+/// [`composite`] writing the per-sample weights into a caller-owned
+/// buffer, so the render and training hot loops can reuse one `Vec`
+/// per worker instead of allocating per ray. `weights` is cleared and
+/// resized to `samples.len()`; returns the pixel color and the final
+/// transmittance. Bitwise-identical to [`composite`].
+pub fn composite_into(
+    samples: &[ShadedSample],
+    background: Vec3,
+    early_stop: bool,
+    weights: &mut Vec<f32>,
+) -> (Vec3, f32) {
     let mut color = Vec3::ZERO;
     let mut transmittance = 1.0f32;
-    let mut weights = vec![0.0f32; samples.len()];
-    for (i, s) in samples.iter().enumerate() {
+    weights.clear();
+    weights.resize(samples.len(), 0.0);
+    for (s, w_out) in samples.iter().zip(weights.iter_mut()) {
         if early_stop && transmittance < 1e-4 {
             break;
         }
         let alpha = 1.0 - (-(s.sigma * s.dt).min(MAX_SIGMA_DT)).exp();
         let w = transmittance * alpha;
         color += s.color * w;
-        weights[i] = w;
+        *w_out = w;
         transmittance *= 1.0 - alpha;
     }
     color += background * transmittance;
-    CompositeOutput { color, final_transmittance: transmittance, weights }
+    (color, transmittance)
 }
 
 /// Backward pass of [`composite`]: given `d_color = ∂L/∂C`, returns

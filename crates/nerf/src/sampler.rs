@@ -14,6 +14,7 @@
 //! accelerator simulator, whose dynamic workload scheduler (T1-2)
 //! dispatches whole rays onto sampling cores.
 
+use crate::batch::SampleBatch;
 use crate::math::{Aabb, Ray, TSpan, Vec3};
 use crate::occupancy::OccupancyGrid;
 
@@ -111,14 +112,23 @@ impl RayWorkload {
 /// entirely return an empty vector and are discarded before reaching
 /// the sampling cores.
 pub fn ray_cube_pairs(ray: &Ray) -> Vec<(u8, TSpan)> {
-    let octants = Aabb::unit_cube().octants();
-    let mut pairs: Vec<(u8, TSpan)> = octants
-        .iter()
-        .enumerate()
-        .filter_map(|(i, cube)| cube.intersect_general(ray).map(|s| (i as u8, s)))
-        .collect();
-    pairs.sort_by(|a, b| a.1.t_near.total_cmp(&b.1.t_near));
+    let mut pairs = Vec::new();
+    ray_cube_pairs_into(ray, &mut pairs);
     pairs
+}
+
+/// [`ray_cube_pairs`] writing into a caller-owned buffer (cleared
+/// first), so per-ray loops reuse one at-most-eight-entry vector
+/// instead of allocating per ray. Identical output.
+pub fn ray_cube_pairs_into(ray: &Ray, out: &mut Vec<(u8, TSpan)>) {
+    out.clear();
+    let octants = Aabb::unit_cube().octants();
+    for (i, cube) in octants.iter().enumerate() {
+        if let Some(span) = cube.intersect_general(ray) {
+            out.push((i as u8, span));
+        }
+    }
+    out.sort_by(|a, b| a.1.t_near.total_cmp(&b.1.t_near));
 }
 
 /// Marches a ray through the occupancy grid, returning the retained
@@ -178,6 +188,44 @@ pub fn sample_ray(
         workload.steps_per_pair.push(steps_in_pair);
     }
     (samples, workload)
+}
+
+/// [`sample_ray`] marching into a caller-owned [`SampleBatch`]
+/// (cleared first) and skipping the workload bookkeeping — the
+/// allocation-free Stage-I entry point of the batched render/train
+/// hot path. Produces exactly the `t`/`δt`/position sequence of
+/// [`sample_ray`]; per-cube statistics stay with the tracing path.
+pub fn sample_ray_into(
+    ray: &Ray,
+    occupancy: &OccupancyGrid,
+    config: &SamplerConfig,
+    out: &mut SampleBatch,
+) {
+    out.clear();
+    let mut pairs = std::mem::take(&mut out.pairs);
+    ray_cube_pairs_into(ray, &mut pairs);
+    let dt = config.step();
+    'pairs: for &(_, span) in pairs.iter() {
+        // Same lattice as `sample_ray`: first sample half a step into
+        // the span, empty-cell DDA skips land back on the lattice.
+        let t0 = span.t_near + dt * 0.5;
+        let mut t = t0;
+        while t < span.t_far {
+            let p = ray.at(t);
+            if occupancy.is_occupied(p) {
+                out.push(t, dt, p);
+                if out.len() >= config.max_samples_per_ray {
+                    break 'pairs;
+                }
+                t += dt;
+            } else {
+                let exit = occupancy.cell_exit_t(ray, t);
+                let k = ((exit - t0) / dt).floor() + 1.0;
+                t = (t0 + k * dt).max(t + dt);
+            }
+        }
+    }
+    out.pairs = pairs;
 }
 
 #[cfg(test)]

@@ -9,14 +9,15 @@
 //! quantities behind the paper's Fig. 3 bandwidth analysis.
 
 use crate::adam::AdamConfig;
+use crate::batch::{KernelScratch, SampleBatch};
 use crate::dataset::Dataset;
 use crate::image::Image;
 use crate::math::Vec3;
-use crate::model::{ModelGrads, ModelOptimizer, NerfModel, PointContext};
+use crate::model::{ModelGrads, ModelOptimizer, NerfModel};
 use crate::occupancy::OccupancyGrid;
 use crate::pipeline::{render_image, PipelineConfig};
-use crate::render::{composite, composite_backward_into, SampleGrad, ShadedSample};
-use crate::sampler::{sample_ray, SamplerConfig};
+use crate::render::{composite_backward_into, composite_into, SampleGrad};
+use crate::sampler::{sample_ray_into, SamplerConfig};
 use fusion3d_par::Pool;
 use rand::Rng;
 
@@ -191,18 +192,22 @@ pub struct StepStats {
 #[derive(Debug)]
 struct ShardScratch {
     grads: ModelGrads,
-    contexts: Vec<PointContext>,
-    shaded: Vec<ShadedSample>,
+    samples: SampleBatch,
+    kernel: KernelScratch,
     sample_grads: Vec<SampleGrad>,
+    d_sigma: Vec<f32>,
+    d_color: Vec<Vec3>,
 }
 
 impl ShardScratch {
     fn new<E: crate::encoding::Encoding>(model: &NerfModel<E>) -> Self {
         ShardScratch {
             grads: model.alloc_grads(),
-            contexts: Vec::new(),
-            shaded: Vec::new(),
+            samples: SampleBatch::new(),
+            kernel: KernelScratch::new(),
             sample_grads: Vec::new(),
+            d_sigma: Vec::new(),
+            d_color: Vec::new(),
         }
     }
 }
@@ -367,38 +372,45 @@ impl<E: crate::encoding::Encoding> Trainer<E> {
                 let mut loss_sum = 0.0f64;
                 let mut sample_count = 0usize;
                 for (ray, target) in &batch_ref[start..end] {
-                    let (samples, _) = sample_ray(ray, occupancy, &config.sampler);
-                    sample_count += samples.len();
-                    // Forward every sample, retaining contexts for
-                    // backward.
-                    if scratch.contexts.len() < samples.len() {
-                        scratch.contexts.resize_with(samples.len(), PointContext::new);
-                    }
-                    scratch.shaded.clear();
-                    for (s, ctx) in samples.iter().zip(scratch.contexts.iter_mut()) {
-                        let eval = model.forward(s.position, ray.direction, ctx);
-                        scratch.shaded.push(ShadedSample {
-                            sigma: eval.sigma,
-                            color: eval.color,
-                            dt: s.dt,
-                        });
-                    }
-                    let out = composite(&scratch.shaded, config.background, false);
-                    let err = out.color - *target;
+                    // Stage I into the reusable SoA batch, then one
+                    // batched forward/backward over the whole ray.
+                    sample_ray_into(ray, occupancy, &config.sampler, &mut scratch.samples);
+                    sample_count += scratch.samples.len();
+                    model.forward_batch(
+                        scratch.samples.positions(),
+                        ray.direction,
+                        &mut scratch.kernel,
+                    );
+                    scratch.kernel.build_shaded(scratch.samples.dts());
+                    let (color, _) = composite_into(
+                        &scratch.kernel.shaded,
+                        config.background,
+                        false,
+                        &mut scratch.kernel.weights,
+                    );
+                    let err = color - *target;
                     loss_sum += (err.length_squared() / 3.0) as f64;
                     // d(mean squared error)/d(pixel color).
                     let d_pixel = err * (2.0 * inv_norm);
                     composite_backward_into(
-                        &scratch.shaded,
+                        &scratch.kernel.shaded,
                         config.background,
                         d_pixel,
                         &mut scratch.sample_grads,
                     );
-                    for ((s, ctx), g) in
-                        samples.iter().zip(scratch.contexts.iter()).zip(&scratch.sample_grads)
-                    {
-                        model.backward(s.position, ctx, g.d_sigma, g.d_color, &mut scratch.grads);
+                    scratch.d_sigma.clear();
+                    scratch.d_color.clear();
+                    for g in &scratch.sample_grads {
+                        scratch.d_sigma.push(g.d_sigma);
+                        scratch.d_color.push(g.d_color);
                     }
+                    model.backward_batch(
+                        scratch.samples.positions(),
+                        &scratch.d_sigma,
+                        &scratch.d_color,
+                        &mut scratch.kernel,
+                        &mut scratch.grads,
+                    );
                 }
                 (loss_sum, sample_count)
             });

@@ -142,11 +142,13 @@ proptest! {
         let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
         let mut grid = HashGrid::with_random_init(config, &mut rng);
         let p = Vec3::new(px, py, pz);
-        let base = grid.encode(p);
+        let mut base = vec![0.0f32; grid.config().output_dim()];
+        grid.interpolate(p, &mut base);
         for v in grid.params_mut() {
             *v *= scale;
         }
-        let scaled = grid.encode(p);
+        let mut scaled = vec![0.0f32; grid.config().output_dim()];
+        grid.interpolate(p, &mut scaled);
         for (a, b) in base.iter().zip(&scaled) {
             prop_assert!(
                 (a * scale - b).abs() < 1e-4 * (1.0 + a.abs() * scale),

@@ -115,10 +115,39 @@ impl Pool {
         T: Send,
         F: Fn(usize, Range<usize>) -> T + Sync,
     {
+        self.parallel_chunks_with(len, chunk_size, || (), |index, range, ()| work(index, range))
+    }
+
+    /// [`Pool::parallel_chunks`] with worker-local scratch: `init`
+    /// builds one scratch value per worker thread, and every chunk
+    /// that worker executes receives `&mut` access to it. This is how
+    /// the batched NeRF kernels reuse their SoA buffers across rays
+    /// without allocating per chunk.
+    ///
+    /// Determinism contract: `work` must treat the scratch as working
+    /// memory only — every output must be a pure function of the chunk
+    /// (the scratch may carry capacity, never values that leak into
+    /// results). Under that contract the output is bitwise-identical
+    /// for any thread count, because chunk geometry and result slots
+    /// never depend on which worker ran a chunk.
+    pub fn parallel_chunks_with<T, S, I, F>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        init: I,
+        work: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, Range<usize>, &mut S) -> T + Sync,
+    {
         let chunk_size = chunk_size.max(1);
         let ranges: Vec<Range<usize>> =
             (0..len.div_ceil(chunk_size)).map(|i| chunk_range(i, chunk_size, len)).collect();
-        self.run_indexed(ranges.len(), |index| work(index, ranges[index].clone()))
+        self.run_indexed_with(ranges.len(), init, |index, state| {
+            work(index, ranges[index].clone(), state)
+        })
     }
 
     /// [`Pool::parallel_chunks`] followed by a fixed-order fold on the
@@ -148,7 +177,25 @@ impl Pool {
         T: Send,
         F: Fn(usize, Range<usize>) -> Vec<T> + Sync,
     {
-        let chunks = self.parallel_chunks(len, chunk_size, work);
+        self.parallel_flat_map_with(len, chunk_size, || (), |index, range, ()| work(index, range))
+    }
+
+    /// [`Pool::parallel_chunks_with`] where each chunk yields a `Vec`,
+    /// flattened in chunk order into one output vector. The scratch
+    /// contract of [`Pool::parallel_chunks_with`] applies.
+    pub fn parallel_flat_map_with<T, S, I, F>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        init: I,
+        work: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, Range<usize>, &mut S) -> Vec<T> + Sync,
+    {
+        let chunks = self.parallel_chunks_with(len, chunk_size, init, work);
         let total = chunks.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total);
         for chunk in chunks {
@@ -172,20 +219,28 @@ impl Pool {
         // any worker; the index-per-task discipline means every lock
         // is uncontended.
         let slots: Vec<Mutex<&mut S>> = states.iter_mut().map(Mutex::new).collect();
-        self.run_indexed(slots.len(), |index| {
-            let mut state = slots[index].lock();
-            work(index, &mut state)
-        })
+        self.run_indexed_with(
+            slots.len(),
+            || (),
+            |index, ()| {
+                let mut state = slots[index].lock();
+                work(index, &mut state)
+            },
+        )
     }
 
     /// Core dispatch: executes `task(0..count)` across the pool and
     /// collects results into index-addressed slots. Work distribution
     /// (round-robin seeding + stealing) affects only *who* runs a
-    /// task, never *where* its result lands.
-    fn run_indexed<T, F>(&self, count: usize, task: F) -> Vec<T>
+    /// task, never *where* its result lands. Each worker thread builds
+    /// one scratch value with `init` and hands it to every task it
+    /// executes; results must not depend on the scratch's history (see
+    /// [`Pool::parallel_chunks_with`]).
+    fn run_indexed_with<T, S, I, F>(&self, count: usize, init: I, task: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize) -> T + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
     {
         if count == 0 {
             return Vec::new();
@@ -193,7 +248,8 @@ impl Pool {
         let workers = self.threads.min(count);
         if workers <= 1 {
             // Inline fast path: no scope, no deques, no locking.
-            return (0..count).map(task).collect();
+            let mut state = init();
+            return (0..count).map(|index| task(index, &mut state)).collect();
         }
 
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
@@ -210,8 +266,9 @@ impl Pool {
             for local in locals {
                 scope.spawn(|| {
                     let local = local;
+                    let mut state = init();
                     while let Some(index) = next_task(&local, &injector, &stealers) {
-                        *slots[index].lock() = Some(task(index));
+                        *slots[index].lock() = Some(task(index, &mut state));
                     }
                 });
             }
@@ -321,6 +378,47 @@ mod tests {
         assert!(pool.parallel_chunks(0, 4, |_, r| r.len()).is_empty());
         assert_eq!(pool.parallel_chunks(3, 100, |_, r| r.len()), vec![3]);
         assert_eq!(pool.parallel_chunks(4, 0, |_, r| r.len()), vec![1; 4]);
+    }
+
+    #[test]
+    fn chunks_with_scratch_are_identical_across_thread_counts() {
+        // Worker-local scratch (a reused buffer) must not perturb
+        // results: each chunk overwrites the part of the scratch it
+        // reads, so outputs stay a pure function of the chunk.
+        let run = |threads: usize| {
+            Pool::with_threads(threads).parallel_chunks_with(
+                997,
+                23,
+                Vec::<f32>::new,
+                |_, range, scratch| {
+                    scratch.clear();
+                    scratch.extend(range.map(|i| 1.0f32 / (i as f32 + 1.0)));
+                    scratch.iter().sum::<f32>()
+                },
+            )
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            let got = run(threads);
+            assert_eq!(reference.len(), got.len());
+            for (a, b) in reference.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_with_scratch_preserves_element_order() {
+        let out = Pool::with_threads(4).parallel_flat_map_with(
+            100,
+            7,
+            || 0usize,
+            |_, range, seen| {
+                *seen += range.len();
+                range.collect::<Vec<usize>>()
+            },
+        );
+        assert_eq!(out, (0..100).collect::<Vec<usize>>());
     }
 
     #[test]

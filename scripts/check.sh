@@ -11,4 +11,7 @@ cargo test --workspace -q
 cargo run --release -q -p fusion3d-lint
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+# Keep the throughput harness runnable; the smoke run takes ~a second
+# and writes its report under target/ (full runs write BENCH_perf.json).
+cargo run --release -q -p fusion3d-bench --bin perf -- --smoke --out target/BENCH_perf_smoke.json
 echo "All tier-1 checks passed."

@@ -36,7 +36,8 @@ fn fiem_interpolation_matches_float_reference() {
             (probe as f32 * 0.311).fract(),
             (probe as f32 * 0.539).fract(),
         );
-        let reference = grid.encode(p);
+        let mut reference = vec![0.0f32; grid.config().output_dim()];
+        grid.interpolate(p, &mut reference);
         // FIEM path: quantize each corner weight to 10 fractional
         // bits and accumulate with the fraction/exponent-split
         // multiplier. Reconstruct the same gather via record_accesses
