@@ -1,0 +1,69 @@
+//! Paper-style per-module cycle/energy breakdown report, regenerated
+//! from the observability trace stream for all eight synthetic scenes.
+//!
+//! Prints three tables (per-stage cycle attribution, per-module
+//! energy, per-scene workload shape), one scene's rendered span tree
+//! as a worked example, and — with `--jsonl` — the deterministic
+//! JSON-lines export for every scene. Built with `--features obs`, a
+//! final section renders a small frame through the probed pipeline and
+//! reports the hot-path kernel counters plus the (diagnostic)
+//! per-worker dispatch stats.
+//!
+//! ```text
+//! cargo run -p fusion3d-bench --release --bin breakdown [-- --jsonl]
+//! ```
+
+use fusion3d_bench::experiments::breakdown;
+
+/// Renders one small frame through the probed pipeline and prints the
+/// kernel-counter section of the report.
+#[cfg(feature = "obs")]
+fn kernel_probe_section() {
+    use fusion3d_bench::support::{scene_occupancy, trace_camera};
+    use fusion3d_nerf::encoding::HashGridConfig;
+    use fusion3d_nerf::math::Vec3;
+    use fusion3d_nerf::model::{ModelConfig, NerfModel};
+    use fusion3d_nerf::pipeline::{render_image_probed, PipelineConfig};
+    use fusion3d_nerf::sampler::SamplerConfig;
+    use fusion3d_nerf::scenes::SyntheticScene;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mut rng = SmallRng::seed_from_u64(19);
+    let model = NerfModel::new(
+        ModelConfig {
+            grid: HashGridConfig {
+                levels: 8,
+                features_per_level: 2,
+                log2_table_size: 14,
+                base_resolution: 16,
+                max_resolution: 256,
+            },
+            hidden_dim: 32,
+            geo_feature_dim: 7,
+        },
+        &mut rng,
+    );
+    let occupancy = scene_occupancy(SyntheticScene::Lego);
+    let camera = trace_camera(64);
+    let config = PipelineConfig {
+        sampler: SamplerConfig { steps_per_diagonal: 128, max_samples_per_ray: 128 },
+        background: Vec3::ONE,
+        early_stop: true,
+    };
+    let mut report = fusion3d_obs::Report::new("lego-kernel-probes");
+    let image = render_image_probed(&model, &occupancy, &camera, &config, &mut report);
+    println!(
+        "\n=== Kernel probes: lego @ {}x{} (--features obs) ===",
+        image.width(),
+        image.height()
+    );
+    print!("{}", report.render_table());
+}
+
+fn main() {
+    let jsonl = std::env::args().skip(1).any(|arg| arg == "--jsonl");
+    breakdown::run(jsonl);
+    #[cfg(feature = "obs")]
+    kernel_probe_section();
+}

@@ -2,6 +2,7 @@
 //! that print the reproduced rows/series.
 
 pub mod ablations;
+pub mod breakdown;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

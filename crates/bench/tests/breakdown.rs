@@ -1,0 +1,66 @@
+//! Integration tests for the breakdown report: exact cycle
+//! attribution on every scene and bitwise-identical observability
+//! output across worker-thread counts.
+
+use fusion3d_bench::experiments::breakdown::{all_scene_breakdowns_at, scene_breakdown_at};
+use fusion3d_nerf::scenes::SyntheticScene;
+use fusion3d_par::set_thread_override;
+
+/// Test trace resolution: small enough for debug-build CI, large
+/// enough that every scene retains samples and multi-chunk dispatch
+/// actually happens at 4 threads.
+const TEST_RES: u32 = 64;
+
+#[test]
+fn attributed_cycles_sum_to_total_for_every_scene() {
+    let rows = all_scene_breakdowns_at(TEST_RES);
+    assert_eq!(rows.len(), SyntheticScene::ALL.len());
+    for sb in &rows {
+        let name = sb.scene.name();
+        assert!(sb.frame.stepped.cycles > 0, "{name}: empty stepped sim");
+        assert_eq!(
+            sb.frame.attribution.total(),
+            sb.frame.stepped.cycles,
+            "{name}: attribution must cover every simulated cycle exactly once"
+        );
+        assert_eq!(
+            sb.report.trace.child_cycles(sb.frame.root),
+            sb.frame.stepped.cycles,
+            "{name}: stage spans must sum to the frame root"
+        );
+    }
+}
+
+#[test]
+fn reports_are_bitwise_identical_across_thread_counts() {
+    let streams = |threads: usize| -> Vec<String> {
+        set_thread_override(Some(threads));
+        let rows = all_scene_breakdowns_at(TEST_RES);
+        set_thread_override(None);
+        rows.iter().map(|sb| sb.report.deterministic_jsonl()).collect()
+    };
+    let single = streams(1);
+    let multi = streams(4);
+    assert_eq!(single.len(), multi.len());
+    for ((a, b), scene) in single.iter().zip(&multi).zip(SyntheticScene::ALL) {
+        assert_eq!(a, b, "deterministic stream differs for {}", scene.name());
+        assert!(!a.is_empty());
+    }
+}
+
+#[test]
+fn breakdown_reports_the_catalog_metrics() {
+    let sb = scene_breakdown_at(SyntheticScene::Mic, TEST_RES);
+    for name in [
+        "frame.hit_rate",
+        "frame.samples_per_ray",
+        "ray.samples",
+        "sampling.core_utilization",
+        "noc.peak_utilization",
+        "energy.total_j",
+        "pipeline.cycles",
+        "stage.interp.cycles",
+    ] {
+        assert!(sb.report.metrics.get(name).is_some(), "missing metric {name}");
+    }
+}

@@ -49,6 +49,18 @@ impl Module {
             Module::Controller => "Interface/Ctrl",
         }
     }
+
+    /// Short stable identifier used in metric names and JSON reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Module::Sampling => "sampling",
+            Module::Interpolation => "interp",
+            Module::PostProcessing => "postproc",
+            Module::MemoryClusters => "mem",
+            Module::Noc => "noc",
+            Module::Controller => "ctrl",
+        }
+    }
 }
 
 /// Static configuration of one Fusion-3D chip.

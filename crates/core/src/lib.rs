@@ -44,6 +44,7 @@ pub mod design_space;
 pub mod energy;
 pub mod interp;
 pub mod noc;
+pub mod observe;
 pub mod pipeline_sim;
 pub mod postproc;
 pub mod sampling;

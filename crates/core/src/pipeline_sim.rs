@@ -63,6 +63,35 @@ impl PipelineSimReport {
     }
 }
 
+/// Exact attribution of every stepped pipeline cycle to the stage that
+/// governed it.
+///
+/// Each simulated cycle is classified to exactly one stage by what set
+/// the drain tempo that cycle: cycles where Stage III drained points (or
+/// was limited by its own fractional rate) are `postproc`; cycles where
+/// Stage III sat starved are charged to the upstream cause — `sampling`
+/// when the sample FIFO was also empty, `interp` otherwise. Because the
+/// classification is total and exclusive, [`CycleAttribution::total`]
+/// equals [`PipelineSimReport::cycles`] exactly — the invariant the
+/// breakdown report's sum test asserts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleAttribution {
+    /// Cycles governed by Stage I (ray marching / sampling).
+    pub sampling: u64,
+    /// Cycles governed by Stage II (hash-grid feature interpolation).
+    pub interp: u64,
+    /// Cycles governed by Stage III (MLP + volume rendering).
+    pub postproc: u64,
+}
+
+impl CycleAttribution {
+    /// Sum of the attributed cycles; equals the stepped simulation's
+    /// total cycle count by construction.
+    pub fn total(&self) -> u64 {
+        self.sampling + self.interp + self.postproc
+    }
+}
+
 /// Steps the pipeline cycle by cycle for one frame.
 ///
 /// Stage rates come from the chip's module models: Stage I's sustained
@@ -80,13 +109,27 @@ pub fn simulate_pipeline(
     buffers: &BufferConfig,
     training: bool,
 ) -> PipelineSimReport {
+    simulate_pipeline_attributed(chip, trace, buffers, training).0
+}
+
+/// [`simulate_pipeline`] plus exact per-stage cycle attribution.
+///
+/// # Panics
+///
+/// Panics if either FIFO capacity is zero.
+pub fn simulate_pipeline_attributed(
+    chip: &FusionChip,
+    trace: &FrameTrace,
+    buffers: &BufferConfig,
+    training: bool,
+) -> (PipelineSimReport, CycleAttribution) {
     assert!(
         buffers.sample_fifo > 0 && buffers.feature_fifo > 0,
         "FIFO capacities must be positive"
     );
     let total = trace.total_samples;
     if total == 0 {
-        return PipelineSimReport {
+        let empty = PipelineSimReport {
             cycles: 0,
             s1_stall: 0,
             s2_starve: 0,
@@ -94,6 +137,7 @@ pub fn simulate_pipeline(
             s3_starve: 0,
             points: 0,
         };
+        return (empty, CycleAttribution::default());
     }
 
     // Sustained per-stage rates in points per cycle.
@@ -124,6 +168,7 @@ pub fn simulate_pipeline(
         s3_starve: 0,
         points: 0,
     };
+    let mut attr = CycleAttribution::default();
     let (mut produced1, mut produced2, mut drained) = (0u64, 0u64, 0u64);
     let (mut fifo1, mut fifo2) = (0u64, 0u64);
     let (mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0f64, 0.0f64);
@@ -176,23 +221,37 @@ pub fn simulate_pipeline(
                 }
             }
         }
-        // Stage III.
+        // Stage III — and the cycle's attribution. A cycle where Stage
+        // III advances (or is paced by its own fractional rate) is a
+        // post-processing cycle; a starved cycle is charged to the
+        // upstream stage that caused the bubble.
         acc3 += r3;
         let want = acc3 as u64;
         if want > 0 {
             if fifo2 == 0 {
                 report.s3_starve += 1;
                 acc3 = acc3.min(r3.max(1.0) * 2.0);
+                // An empty sample FIFO implicates Stage I only while it
+                // still has samples left to produce; during the tail
+                // drain the bubble is Stage II's.
+                if fifo1 == 0 && produced1 < total {
+                    attr.sampling += 1;
+                } else {
+                    attr.interp += 1;
+                }
             } else {
                 let take = want.min(fifo2);
                 fifo2 -= take;
                 drained += take;
                 acc3 -= take as f64;
+                attr.postproc += 1;
             }
+        } else {
+            attr.postproc += 1;
         }
     }
     report.points = drained;
-    report
+    (report, attr)
 }
 
 #[cfg(test)]
@@ -238,6 +297,31 @@ mod tests {
             (stepped as f64) < analytic as f64 * 1.25,
             "excess pipeline overhead: {stepped} vs {analytic}"
         );
+    }
+
+    #[test]
+    fn attribution_sums_to_total_cycles() {
+        let chip = FusionChip::scaled_up();
+        for (rays, samples, training) in [(512, 13, false), (2048, 13, true), (64, 3, false)] {
+            let t = trace(rays, samples);
+            let (report, attr) =
+                simulate_pipeline_attributed(&chip, &t, &BufferConfig::fusion3d(), training);
+            assert_eq!(
+                attr.total(),
+                report.cycles,
+                "attribution must cover every cycle exactly once"
+            );
+            assert!(attr.interp > 0 || attr.postproc > 0 || attr.sampling > 0);
+        }
+    }
+
+    #[test]
+    fn attributed_matches_unattributed() {
+        let chip = FusionChip::scaled_up();
+        let t = trace(1024, 13);
+        let plain = simulate_pipeline(&chip, &t, &BufferConfig::fusion3d(), false);
+        let (report, _) = simulate_pipeline_attributed(&chip, &t, &BufferConfig::fusion3d(), false);
+        assert_eq!(plain, report);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! narrowing cast in an energy total — so this crate machine-checks
 //! the discipline on every change. It lexes the workspace's Rust
 //! sources with a small hand-rolled tokenizer (no `syn`; the repo
-//! builds offline) and enforces six repo-specific rules:
+//! builds offline) and enforces seven repo-specific rules:
 //!
 //! | Rule | Invariant |
 //! |------|-----------|
@@ -18,6 +18,7 @@
 //! | P1   | no `unwrap()`/`expect()`/`panic!` family in library code |
 //! | A1   | no lossy `as` casts in cycle/energy accounting modules |
 //! | H1   | no `Vec::new`/`vec![…]`/`.clone()` in hot-path kernel modules |
+//! | O1   | no `println!`/`eprintln!` in library code — printing belongs to binaries |
 //!
 //! Legitimate exceptions carry a per-line escape hatch:
 //!

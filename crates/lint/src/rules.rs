@@ -26,6 +26,12 @@
 //!   heap traffic. Reuse the structure-of-arrays scratch buffers, or
 //!   carry a `// lint: allow(H1): why` comment on deliberate cold
 //!   paths.
+//! * **O1** — no `println!`/`print!`/`eprintln!`/`eprint!` in library
+//!   crates. Libraries report through return values and
+//!   `fusion3d-obs` reports; stray stdout writes corrupt the JSON
+//!   streams the bench binaries emit and hide information from
+//!   programmatic consumers. Printing belongs to binaries
+//!   (`src/bin/`, `bench`) and the lint tool itself.
 //!
 //! A finding on line `L` is suppressed by `// lint: allow(<rule>)` on
 //! line `L` or `L - 1`.
@@ -47,7 +53,7 @@ pub struct Finding {
 
 /// Crates whose outputs feed reported results: hash-container
 /// iteration (D1) and ambient nondeterminism (D2) are banned here.
-const RESULT_BEARING_CRATES: &[&str] = &["nerf", "core", "mem", "multichip", "arith", "par"];
+const RESULT_BEARING_CRATES: &[&str] = &["nerf", "core", "mem", "multichip", "arith", "par", "obs"];
 
 /// Accounting modules where lossy casts silently corrupt cycle and
 /// energy totals (A1).
@@ -73,6 +79,14 @@ const INT_CAST_TARGETS: &[&str] =
 /// Panicking macros covered by P1 (matched when followed by `!`).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// Printing macros covered by O1 (matched when followed by `!`).
+/// `write!`/`writeln!` into a caller-supplied sink stay legal.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint"];
+
+/// Crates whose library code may print: the experiment harness renders
+/// tables and the lint tool renders findings, both on stdout by design.
+const PRINTING_CRATES: &[&str] = &["bench", "lint"];
+
 /// Hot-path kernel modules with an allocation-free contract (H1): the
 /// batched SoA kernels of the NeRF compute core.
 const HOT_PATH_FILES: &[&str] =
@@ -88,6 +102,7 @@ struct Scope {
     p1: bool,
     a1: bool,
     h1: bool,
+    o1: bool,
 }
 
 fn crate_of(path: &str) -> Option<&str> {
@@ -111,6 +126,8 @@ fn scope_of(path: &str) -> Scope {
         p1: !path.contains("/bin/"),
         a1: ACCOUNTING_FILES.contains(&path),
         h1: HOT_PATH_FILES.contains(&path),
+        // Binaries print by design; so do the harness and lint crates.
+        o1: !path.contains("/bin/") && !PRINTING_CRATES.contains(&krate),
     }
 }
 
@@ -231,6 +248,23 @@ pub fn check_file(path: &str, file: &LexedFile) -> Vec<Finding> {
                     &mut findings,
                 );
             }
+        }
+
+        // O1: printing from library code.
+        if scope.o1
+            && is_ident
+            && PRINT_MACROS.contains(&text)
+            && tokens.get(i + 1).is_some_and(|t| t.text == "!")
+        {
+            report(
+                "O1",
+                tok.line,
+                format!(
+                    "`{text}!` in library code; report through return values or a \
+                     fusion3d-obs Report — printing belongs to binaries"
+                ),
+                &mut findings,
+            );
         }
 
         // H1: allocations and clones in hot-path kernel modules.

@@ -246,6 +246,51 @@ fn h1_allow_comment_suppresses() {
     assert!(rules_at("crates/nerf/src/encoding.rs", preceding).is_empty());
 }
 
+// ---------------------------------------------------------------- O1
+
+#[test]
+fn o1_flags_print_macros_in_library_code() {
+    assert_eq!(
+        rules_at("crates/core/src/chip.rs", "fn f() { println!(\"cycles: {}\", 1); }"),
+        vec!["O1"]
+    );
+    assert_eq!(rules_at("crates/nerf/src/trainer.rs", "fn f() { print!(\"x\"); }"), vec!["O1"]);
+    assert_eq!(
+        rules_at("crates/obs/src/report.rs", "fn f() { eprintln!(\"warn\"); }"),
+        vec!["O1"],
+        "the obs crate renders reports to strings, never to stdout"
+    );
+    assert_eq!(rules_at("src/lib.rs", "fn f() { eprint!(\"x\"); }"), vec!["O1"]);
+}
+
+#[test]
+fn o1_ignores_binaries_harness_tests_and_lookalikes() {
+    let src = "fn main() { println!(\"table row\"); }";
+    assert!(rules_at("crates/bench/src/bin/table1.rs", src).is_empty(), "binaries print");
+    assert!(rules_at("src/bin/fusion3d.rs", src).is_empty());
+    assert!(rules_at("crates/bench/src/support.rs", src).is_empty(), "the harness prints tables");
+    assert!(rules_at("crates/lint/src/report.rs", src).is_empty(), "lint renders findings");
+
+    let test_fn = "#[test]\nfn t() { println!(\"debugging\"); }\n";
+    assert!(rules_at("crates/core/src/chip.rs", test_fn).is_empty());
+
+    // Lookalikes that must NOT fire: write!/writeln! into a sink, a
+    // `println` identifier without `!`, and mentions in comments or
+    // strings.
+    let clean = "use std::fmt::Write;\n\
+                 fn f(out: &mut String) { let _ = writeln!(out, \"row\"); }\n\
+                 fn println() {}\n\
+                 // println! is banned in library code\n\
+                 const S: &str = \"println!\";\n";
+    assert!(rules_at("crates/obs/src/report.rs", clean).is_empty());
+}
+
+#[test]
+fn o1_allow_comment_suppresses() {
+    let trailing = "fn f() { println!(\"x\"); } // lint: allow(o1): interactive debug aid\n";
+    assert!(rules_at("crates/core/src/chip.rs", trailing).is_empty());
+}
+
 // ------------------------------------------------------- reporting
 
 #[test]

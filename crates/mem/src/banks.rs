@@ -119,6 +119,26 @@ impl ConflictStats {
             1.0 - self.total_cycles as f64 / baseline.total_cycles as f64
         }
     }
+
+    /// Record these conflict statistics under `prefix` (e.g.
+    /// `"mem.banks"`): group/cycle counters, the mean-latency gauge,
+    /// and the per-group latency distribution (paper Fig. 12(d)).
+    pub fn record(&self, prefix: &str, report: &mut fusion3d_obs::Report) {
+        let m = &mut report.metrics;
+        let key = |suffix: &str| {
+            let mut name = String::from(prefix);
+            name.push('.');
+            name.push_str(suffix);
+            name
+        };
+        m.counter_add(&key("groups"), "groups", self.groups);
+        m.counter_add(&key("total_cycles"), "cycles", self.total_cycles);
+        m.counter_add(&key("conflict_cycles"), "cycles", self.conflict_cycles);
+        m.gauge_set(&key("mean_cycles"), "cycles/group", self.mean_cycles());
+        for (k, &count) in self.histogram.iter().enumerate() {
+            m.observe_n(&key("latency"), "cycles", k as u64 + 1, count);
+        }
+    }
 }
 
 /// Simulates the given request groups under a bank mapping.

@@ -74,6 +74,20 @@ impl LoadReport {
     pub fn step_imbalance(&self) -> f64 {
         imbalance(&self.steps)
     }
+
+    /// Record per-chiplet loads and the imbalance gauges (Challenge C4:
+    /// the slowest chip bounds the system, so the max-over-mean ratios
+    /// here are what the paper's multi-chip scaling argument rests on).
+    pub fn record(&self, report: &mut fusion3d_obs::Report) {
+        let m = &mut report.metrics;
+        for (chip, (&samples, &steps)) in self.samples.iter().zip(self.steps.iter()).enumerate() {
+            m.counter_add(&format!("chip.{chip}.samples"), "samples", samples);
+            m.counter_add(&format!("chip.{chip}.steps"), "steps", steps);
+            m.observe("balance.chip_samples", "samples", samples);
+        }
+        m.gauge_set("balance.sample_imbalance", "max/mean", self.sample_imbalance());
+        m.gauge_set("balance.step_imbalance", "max/mean", self.step_imbalance());
+    }
 }
 
 fn imbalance(loads: &[u64]) -> f64 {
@@ -87,6 +101,31 @@ fn imbalance(loads: &[u64]) -> f64 {
     } else {
         1.0
     }
+}
+
+/// [`rebalance_gates`] with the balance decision recorded into an obs
+/// report: occupied-cell imbalance before and after, and the number of
+/// cells that moved.
+///
+/// # Errors
+///
+/// Returns [`BalanceError`] if `gates` is empty or resolutions differ
+/// (nothing is recorded in that case).
+pub fn rebalance_gates_observed(
+    gates: &mut [OccupancyGrid],
+    tolerance: f64,
+    report: &mut fusion3d_obs::Report,
+) -> Result<usize, BalanceError> {
+    let cell_loads = |gates: &[OccupancyGrid]| -> Vec<u64> {
+        gates.iter().map(|g| g.occupied_cells().count() as u64).collect()
+    };
+    let before = imbalance(&cell_loads(gates));
+    let moved = rebalance_gates(gates, tolerance)?;
+    let m = &mut report.metrics;
+    m.gauge_set("balance.cells_imbalance_before", "max/mean", before);
+    m.gauge_set("balance.cells_imbalance_after", "max/mean", imbalance(&cell_loads(gates)));
+    m.counter_add("balance.cells_moved", "cells", moved as u64);
+    Ok(moved)
 }
 
 /// Greedily rebalances per-chip occupancy gates: while the heaviest
@@ -255,6 +294,34 @@ mod tests {
         rebalance_gates(&mut gates, 0.1).expect("valid gates");
         let after: Vec<u64> = gates.iter().map(|g| g.occupied_cells().count() as u64).collect();
         assert!(imbalance(&after) < 1.15, "rebalancing failed: {after:?}");
+    }
+
+    #[test]
+    fn observed_rebalance_records_decision() {
+        let mut a = OccupancyGrid::new(8, 0.0);
+        let mut b = OccupancyGrid::new(8, 0.0);
+        for cell in 0..100 {
+            a.set_cell(cell, true);
+        }
+        b.set_cell(200, true);
+        let mut gates = [a, b];
+        let mut report = fusion3d_obs::Report::new("balance");
+        let moved = rebalance_gates_observed(&mut gates, 0.1, &mut report).expect("valid gates");
+        assert!(moved > 0);
+        let jsonl = report.deterministic_jsonl();
+        assert!(jsonl.contains("balance.cells_moved"));
+        assert!(jsonl.contains("balance.cells_imbalance_before"));
+    }
+
+    #[test]
+    fn load_report_records_per_chip_metrics() {
+        let per_chip = vec![vec![workload(10); 4], vec![workload(30); 2]];
+        let report = LoadReport::from_workloads(&per_chip);
+        let mut obs = fusion3d_obs::Report::new("load");
+        report.record(&mut obs);
+        assert!(obs.metrics.get("chip.0.samples").is_some());
+        assert!(obs.metrics.get("chip.1.steps").is_some());
+        assert!(obs.metrics.get("balance.sample_imbalance").is_some());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Two ways to spread a NeRF over four chips:
 //!
-//! * **Layer-split** (the conventional mapping [12]): pipeline stages
+//! * **Layer-split** (the conventional mapping \[12\]): pipeline stages
 //!   or layers are assigned to chips, so every sample's intermediate
 //!   activations — encoded features forward, gradients backward —
 //!   cross chip boundaries.

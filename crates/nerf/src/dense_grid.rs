@@ -174,6 +174,11 @@ impl Encoding for DenseGrid {
         self.config.features_per_vertex
     }
 
+    fn gather_locality(&self) -> (usize, usize) {
+        // A single fully dense level: every gather is local.
+        (1, 0)
+    }
+
     fn interpolate(&self, p: Vec3, out: &mut [f32]) {
         assert_eq!(out.len(), self.output_dim(), "output buffer size mismatch");
         out.fill(0.0);

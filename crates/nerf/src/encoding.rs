@@ -227,6 +227,16 @@ pub trait Encoding: std::fmt::Debug + Send + Sync {
     /// Dimension of the encoded feature vector.
     fn output_dim(&self) -> usize;
 
+    /// `(dense_levels, hashed_levels)` of the encoding's gather
+    /// structure: dense levels resolve every eight-corner fetch inside
+    /// a contiguous per-level row (the local case), hashed levels
+    /// scatter corners across the table (the conflict-prone case the
+    /// chip's two-level tiling targets). Drives the gather-locality
+    /// probes; encodings without a grid structure report `(0, 0)`.
+    fn gather_locality(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
     /// Encodes point `p` into `out` (length [`Encoding::output_dim`]).
     ///
     /// # Panics
@@ -551,6 +561,21 @@ impl HashGrid {
     /// Encodes point `p` (normalized coordinates) into `out`, which
     /// must have length [`HashGridConfig::output_dim`].
     ///
+    /// This is the allocation-free replacement for the deprecated
+    /// [`HashGrid::encode`]: size the buffer once, reuse it per point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fusion3d_nerf::encoding::{Encoding, HashGrid, HashGridConfig};
+    /// use fusion3d_nerf::math::Vec3;
+    ///
+    /// let grid = HashGrid::new(HashGridConfig::default());
+    /// let mut features = vec![0.0; grid.config().output_dim()];
+    /// grid.interpolate(Vec3::splat(0.5), &mut features);
+    /// assert_eq!(features.len(), grid.output_dim());
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.config().output_dim()`.
@@ -577,6 +602,10 @@ impl HashGrid {
     }
 
     /// Convenience wrapper allocating the output vector.
+    ///
+    /// Migrate to the into-buffer API — see the example on
+    /// [`HashGrid::interpolate`]; batches should use
+    /// [`HashGrid::interpolate_batch_infer`].
     #[deprecated(note = "allocates a Vec per point; interpolate into a reused buffer or use \
                 interpolate_batch for batches")]
     pub fn encode(&self, p: Vec3) -> Vec<f32> {
@@ -937,6 +966,15 @@ impl HashGrid {
 impl Encoding for HashGrid {
     fn output_dim(&self) -> usize {
         self.config.output_dim()
+    }
+
+    fn gather_locality(&self) -> (usize, usize) {
+        let dense = self
+            .resolutions
+            .iter()
+            .filter(|&&res| level_is_dense(res, self.config.log2_table_size))
+            .count();
+        (dense, self.config.levels - dense)
     }
 
     fn interpolate(&self, p: Vec3, out: &mut [f32]) {

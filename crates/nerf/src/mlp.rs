@@ -465,7 +465,7 @@ impl Mlp {
     /// slice (`n * output_dim()` values).
     ///
     /// Layers are evaluated with a blocked GEMM
-    /// ([`SAMPLE_TILE`] × [`OUTPUT_TILE`] register tiles) whose inner
+    /// (`SAMPLE_TILE` × `OUTPUT_TILE` register tiles) whose inner
     /// reduction walks input features in ascending order per output
     /// element — **bitwise-identical** to calling [`Mlp::forward`] on
     /// each sample, which is the determinism contract the `reference`

@@ -408,6 +408,16 @@ impl<E: Encoding> NerfModel<E> {
         #[cfg(debug_assertions)]
         let stamp = scratch.capacity_fingerprint();
 
+        crate::probe!({
+            let (dense, hashed) = self.encoding.gather_locality();
+            scratch.probes.encode_batches += 1;
+            scratch.probes.encode_points += n as u64;
+            scratch.probes.gathers_dense += (dense * n) as u64;
+            scratch.probes.gathers_hashed += (hashed * n) as u64;
+            scratch.probes.mlp_forward_batches += 1;
+            scratch.probes.mlp_forward_samples += n as u64;
+        });
+
         // Stage II: level-major batched gather.
         let enc_dim = self.encoding.output_dim();
         if retain {
@@ -492,6 +502,11 @@ impl<E: Encoding> NerfModel<E> {
         assert_eq!(d_color.len(), n, "color gradient batch size mismatch");
         #[cfg(debug_assertions)]
         let stamp = scratch.capacity_fingerprint();
+
+        crate::probe!({
+            scratch.probes.mlp_backward_batches += 1;
+            scratch.probes.mlp_backward_samples += n as u64;
+        });
 
         // Color MLP backward over the whole batch.
         for (row, d) in scratch.d_rgb[..n * 3].chunks_exact_mut(3).zip(d_color.iter()) {

@@ -61,12 +61,19 @@ fn shade_ray<E: Encoding>(
     sample_ray_into(ray, occupancy, &config.sampler, &mut scratch.samples);
     model.forward_batch_infer(scratch.samples.positions(), ray.direction, &mut scratch.kernel);
     scratch.kernel.build_shaded(scratch.samples.dts());
-    composite_into(
+    let result = composite_into(
         &scratch.kernel.shaded,
         config.background,
         early_stop,
         &mut scratch.kernel.weights,
-    )
+    );
+    crate::probe!({
+        scratch.kernel.probes.rays += 1;
+        if result.1 < 1e-4 {
+            scratch.kernel.probes.rays_saturated += 1;
+        }
+    });
+    result
 }
 
 /// The blend-weighted mean sample parameter of one ray, or `None` for
@@ -129,6 +136,53 @@ pub fn render_image<E: Encoding>(
     );
     let mut img = Image::new(camera.width(), camera.height());
     img.pixels_mut().copy_from_slice(&pixels);
+    img
+}
+
+/// [`render_image`] with hot-path probe counters recorded into
+/// `report` (`obs` builds only). Identical pixels to [`render_image`]:
+/// the probes never influence the compute. Each chunk's counter delta
+/// is taken against its worker's running totals and the deltas merge
+/// in chunk order, so the recorded totals are bitwise-identical for
+/// any `FUSION3D_THREADS` setting.
+#[cfg(feature = "obs")]
+pub fn render_image_probed<E: Encoding>(
+    model: &NerfModel<E>,
+    occupancy: &OccupancyGrid,
+    camera: &Camera,
+    config: &PipelineConfig,
+    report: &mut fusion3d_obs::Report,
+) -> Image {
+    use crate::probes::ProbeCounters;
+    let width = camera.width() as usize;
+    let count = width * camera.height() as usize;
+    let (chunks, dispatch): (Vec<(Vec<Vec3>, ProbeCounters)>, _) = Pool::new()
+        .parallel_chunks_with_stats(
+            count,
+            width.max(1),
+            RayScratch::new,
+            |_, range, scratch: &mut RayScratch| {
+                let before = scratch.kernel.probes;
+                let pixels = range
+                    .map(|i| {
+                        let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
+                        shade_ray(model, occupancy, &ray, config, config.early_stop, scratch).0
+                    })
+                    .collect();
+                (pixels, scratch.kernel.probes.diff(&before))
+            },
+        );
+    dispatch.record("render", &mut report.metrics);
+    let mut totals = ProbeCounters::default();
+    let mut img = Image::new(camera.width(), camera.height());
+    let out = img.pixels_mut();
+    let mut at = 0usize;
+    for (pixels, delta) in &chunks {
+        out[at..at + pixels.len()].copy_from_slice(pixels);
+        at += pixels.len();
+        totals.add(delta);
+    }
+    totals.record(&mut report.metrics);
     img
 }
 

@@ -1,0 +1,141 @@
+//! Hot-path probe counters (`obs` feature only).
+//!
+//! The batched kernels are the performance-critical core of the crate,
+//! so their instrumentation follows two rules:
+//!
+//! 1. **Compile-out-able** — every increment sits behind the
+//!    `crate::probe!` macro, which expands to nothing without the `obs`
+//!    feature. The default build carries zero probe code; a regression
+//!    test compiles both ways and the perf harness holds the default
+//!    build to a 0% delta.
+//! 2. **Once per batch** — probes count at batch/ray granularity
+//!    (a handful of integer adds per `forward_batch` call), never
+//!    inside per-sample or per-corner loops, keeping the probed build
+//!    within 1% of the unprobed one.
+//!
+//! Counters accumulate in the worker's [`crate::batch::KernelScratch`]
+//! and are surfaced by taking per-chunk deltas that merge in chunk
+//! order ([`crate::pipeline::render_image_probed`]), so recorded totals
+//! are independent of the thread count.
+
+/// Plain-integer hot-path counters carried by a worker's kernel
+/// scratch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounters {
+    /// Batched encoding invocations (one per model forward).
+    pub encode_batches: u64,
+    /// Points encoded across those batches.
+    pub encode_points: u64,
+    /// Point×level gather groups that hit *dense* levels (every corner
+    /// lands in a contiguous per-level row — the local case).
+    pub gathers_dense: u64,
+    /// Point×level gather groups that hit *hashed* levels (corners
+    /// scatter across the table — the conflict-prone case the paper's
+    /// two-level tiling targets).
+    pub gathers_hashed: u64,
+    /// Batched MLP forward passes (density + color counted once).
+    pub mlp_forward_batches: u64,
+    /// Samples through the MLP forward path.
+    pub mlp_forward_samples: u64,
+    /// Batched backward passes (training).
+    pub mlp_backward_batches: u64,
+    /// Samples through the backward path.
+    pub mlp_backward_samples: u64,
+    /// Rays shaded end-to-end.
+    pub rays: u64,
+    /// Rays whose compositing saturated (final transmittance below the
+    /// early-stop threshold) — the early-termination opportunity.
+    pub rays_saturated: u64,
+}
+
+impl ProbeCounters {
+    /// Counter-wise difference `self − before`; used to extract one
+    /// chunk's contribution from a worker's running totals.
+    #[must_use]
+    pub fn diff(&self, before: &ProbeCounters) -> ProbeCounters {
+        ProbeCounters {
+            encode_batches: self.encode_batches - before.encode_batches,
+            encode_points: self.encode_points - before.encode_points,
+            gathers_dense: self.gathers_dense - before.gathers_dense,
+            gathers_hashed: self.gathers_hashed - before.gathers_hashed,
+            mlp_forward_batches: self.mlp_forward_batches - before.mlp_forward_batches,
+            mlp_forward_samples: self.mlp_forward_samples - before.mlp_forward_samples,
+            mlp_backward_batches: self.mlp_backward_batches - before.mlp_backward_batches,
+            mlp_backward_samples: self.mlp_backward_samples - before.mlp_backward_samples,
+            rays: self.rays - before.rays,
+            rays_saturated: self.rays_saturated - before.rays_saturated,
+        }
+    }
+
+    /// Counter-wise accumulation.
+    pub fn add(&mut self, other: &ProbeCounters) {
+        self.encode_batches += other.encode_batches;
+        self.encode_points += other.encode_points;
+        self.gathers_dense += other.gathers_dense;
+        self.gathers_hashed += other.gathers_hashed;
+        self.mlp_forward_batches += other.mlp_forward_batches;
+        self.mlp_forward_samples += other.mlp_forward_samples;
+        self.mlp_backward_batches += other.mlp_backward_batches;
+        self.mlp_backward_samples += other.mlp_backward_samples;
+        self.rays += other.rays;
+        self.rays_saturated += other.rays_saturated;
+    }
+
+    /// Fraction of gather groups hitting hashed (scatter-prone)
+    /// levels — the hash-grid gather-locality figure.
+    pub fn hashed_gather_fraction(&self) -> f64 {
+        let total = self.gathers_dense + self.gathers_hashed;
+        if total == 0 {
+            0.0
+        } else {
+            self.gathers_hashed as f64 / total as f64
+        }
+    }
+
+    /// Record the counters under the `kernel.` prefix.
+    pub fn record(&self, metrics: &mut fusion3d_obs::Metrics) {
+        metrics.counter_add("kernel.encode.batches", "batches", self.encode_batches);
+        metrics.counter_add("kernel.encode.points", "points", self.encode_points);
+        metrics.counter_add("kernel.gathers.dense", "groups", self.gathers_dense);
+        metrics.counter_add("kernel.gathers.hashed", "groups", self.gathers_hashed);
+        metrics.gauge_set("kernel.gathers.hashed_fraction", "ratio", self.hashed_gather_fraction());
+        metrics.counter_add("kernel.mlp.forward_batches", "batches", self.mlp_forward_batches);
+        metrics.counter_add("kernel.mlp.forward_samples", "samples", self.mlp_forward_samples);
+        metrics.counter_add("kernel.mlp.backward_batches", "batches", self.mlp_backward_batches);
+        metrics.counter_add("kernel.mlp.backward_samples", "samples", self.mlp_backward_samples);
+        metrics.counter_add("kernel.rays", "rays", self.rays);
+        metrics.counter_add("kernel.rays_saturated", "rays", self.rays_saturated);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_and_add_round_trip() {
+        let mut a = ProbeCounters::default();
+        a.encode_batches = 3;
+        a.encode_points = 90;
+        a.gathers_hashed = 40;
+        let mut b = a;
+        b.encode_batches = 5;
+        b.encode_points = 150;
+        b.gathers_hashed = 70;
+        let delta = b.diff(&a);
+        assert_eq!(delta.encode_batches, 2);
+        assert_eq!(delta.encode_points, 60);
+        let mut total = a;
+        total.add(&delta);
+        assert_eq!(total, b);
+    }
+
+    #[test]
+    fn hashed_fraction_handles_empty() {
+        assert_eq!(ProbeCounters::default().hashed_gather_fraction(), 0.0);
+        let mut c = ProbeCounters::default();
+        c.gathers_dense = 1;
+        c.gathers_hashed = 3;
+        assert_eq!(c.hashed_gather_fraction(), 0.75);
+    }
+}

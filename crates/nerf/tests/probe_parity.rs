@@ -1,0 +1,80 @@
+//! Probes observe, never perturb: with the `obs` feature enabled,
+//! [`fusion3d_nerf::pipeline::render_image_probed`] must return
+//! bitwise-identical pixels to the unprobed [`render_image`], and the
+//! counters it records must be independent of the thread count. (The
+//! complementary guarantee — that the *default* build carries no probe
+//! code at all — is checked by the `probe_macro_tests` unit tests,
+//! whose no-op expansion discards even un-compilable bodies.)
+#![cfg(feature = "obs")]
+
+use fusion3d_nerf::camera::{orbit_poses, Camera};
+use fusion3d_nerf::encoding::{HashGrid, HashGridConfig};
+use fusion3d_nerf::math::Vec3;
+use fusion3d_nerf::model::{ModelConfig, NerfModel};
+use fusion3d_nerf::occupancy::OccupancyGrid;
+use fusion3d_nerf::pipeline::{render_image, render_image_probed, PipelineConfig};
+use fusion3d_nerf::sampler::SamplerConfig;
+use fusion3d_nerf::{ProceduralScene, SyntheticScene};
+use fusion3d_obs::Report;
+use fusion3d_par::set_thread_override;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn setup() -> (NerfModel<HashGrid>, OccupancyGrid, Camera, PipelineConfig) {
+    let mut rng = SmallRng::seed_from_u64(19);
+    let model = NerfModel::new(
+        ModelConfig {
+            grid: HashGridConfig {
+                levels: 4,
+                features_per_level: 2,
+                log2_table_size: 10,
+                base_resolution: 4,
+                max_resolution: 32,
+            },
+            hidden_dim: 16,
+            geo_feature_dim: 7,
+        },
+        &mut rng,
+    );
+    let occupancy = ProceduralScene::synthetic(SyntheticScene::Lego).occupancy_grid(16);
+    let pose = orbit_poses(Vec3::splat(0.5), 1.2, 4)[1];
+    let camera = Camera::new(pose, 24, 24, 0.9);
+    let config = PipelineConfig {
+        sampler: SamplerConfig { steps_per_diagonal: 48, max_samples_per_ray: 32 },
+        background: Vec3::ONE,
+        early_stop: true,
+    };
+    (model, occupancy, camera, config)
+}
+
+fn bits(image: &fusion3d_nerf::image::Image) -> Vec<u32> {
+    image.pixels().iter().flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]).collect()
+}
+
+#[test]
+fn probed_render_matches_unprobed_bitwise() {
+    let (model, occupancy, camera, config) = setup();
+    let plain = render_image(&model, &occupancy, &camera, &config);
+    let mut report = Report::new("probe_parity");
+    let probed = render_image_probed(&model, &occupancy, &camera, &config, &mut report);
+    assert_eq!(bits(&plain), bits(&probed), "probes changed the rendered pixels");
+    // The probed run actually observed the work it shadowed.
+    let rays = match report.metrics.get("kernel.rays") {
+        Some(fusion3d_obs::Metric { value: fusion3d_obs::MetricValue::Counter(n), .. }) => *n,
+        other => panic!("probed render must record kernel.rays, got {other:?}"),
+    };
+    assert_eq!(rays, u64::from(camera.width()) * u64::from(camera.height()));
+}
+
+#[test]
+fn probe_counters_are_thread_count_independent() {
+    let (model, occupancy, camera, config) = setup();
+    let stream = |threads| {
+        set_thread_override(Some(threads));
+        let mut report = Report::new("probe_parity");
+        let _ = render_image_probed(&model, &occupancy, &camera, &config, &mut report);
+        set_thread_override(None);
+        report.deterministic_jsonl()
+    };
+    assert_eq!(stream(1), stream(4), "probe stream diverged between 1 and 4 threads");
+}

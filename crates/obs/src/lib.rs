@@ -1,0 +1,46 @@
+//! # fusion3d-obs — deterministic observability for the Fusion-3D stack
+//!
+//! Paper mapping: the evaluation sections of Fusion-3D (MICRO 2024) argue
+//! from *visibility into the machine* — per-module cycle and energy
+//! breakdowns (Tab. III, Fig. 14), stage utilization and occupancy
+//! statistics (Fig. 6, Fig. 9), and per-scene spreads (Tab. VI). This
+//! crate is the substrate that lets the reproduction surface the same
+//! quantities: every simulator crate records into it, and
+//! `bench/src/bin/breakdown.rs` renders the paper-style tables from it.
+//!
+//! ## Determinism contract
+//!
+//! Everything in this crate is keyed to **simulated cycles**, never wall
+//! clock: there is no `Instant`, no `SystemTime`, no environment read, and
+//! no dependency of any kind. Reports produced from a deterministic
+//! simulation are bitwise-identical across runs and across
+//! `FUSION3D_THREADS` settings, with one deliberate exception: metrics
+//! flagged *diagnostic* (for example per-worker utilization, which is
+//! inherently scheduling-dependent) are excluded from
+//! [`Report::deterministic_jsonl`], the stream the determinism regression
+//! tests compare.
+//!
+//! ## Shape
+//!
+//! * [`Trace`] — a tree of [`SpanRecord`]s, each covering a half-open
+//!   simulated-cycle interval with optional attributed energy.
+//! * [`Metrics`] — a name-ordered registry of typed entries: monotonic
+//!   [`Counter`](MetricValue::Counter)s, point-in-time
+//!   [`Gauge`](MetricValue::Gauge)s, and log2-bucketed [`Histogram`]s.
+//! * [`Report`] — a labelled (trace, metrics) pair with JSON-lines and
+//!   human-table renderers. Nothing in this crate prints; callers decide
+//!   where the rendered strings go (lint rule O1 enforces this repo-wide).
+//!
+//! Everything is instance-based — no globals, no interior mutability — so
+//! worker shards can record into private [`Metrics`] and merge them in
+//! deterministic (chunk-index) order.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod report;
+mod trace;
+
+pub use metrics::{Histogram, Metric, MetricValue, Metrics, HISTOGRAM_BUCKETS};
+pub use report::Report;
+pub use trace::{SpanId, SpanRecord, Trace};

@@ -1,0 +1,262 @@
+//! Report sink: JSON-lines and human-table rendering of a trace plus
+//! metrics registry.
+
+use crate::metrics::{Metric, MetricValue, Metrics};
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// A labelled observation set: one [`Trace`] plus one [`Metrics`]
+/// registry, with renderers. Nothing here prints — callers own the I/O.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Human label, e.g. the scene name.
+    pub label: String,
+    /// The span tree.
+    pub trace: Trace,
+    /// The metric registry.
+    pub metrics: Metrics,
+}
+
+impl Report {
+    /// Empty report with the given label.
+    pub fn new(label: &str) -> Self {
+        Self { label: label.to_string(), trace: Trace::new(), metrics: Metrics::new() }
+    }
+
+    /// Render the full report as JSON lines, including diagnostic
+    /// metrics. One object per line: a `report` header, then `span`
+    /// lines in begin order, then metric lines in name order.
+    pub fn to_jsonl(&self) -> String {
+        self.render_jsonl(true)
+    }
+
+    /// Render only the deterministic subset: everything except metrics
+    /// flagged diagnostic. Two runs of a deterministic simulation must
+    /// produce bitwise-identical output here regardless of
+    /// `FUSION3D_THREADS`; the determinism regression tests compare this
+    /// stream.
+    pub fn deterministic_jsonl(&self) -> String {
+        self.render_jsonl(false)
+    }
+
+    fn render_jsonl(&self, include_diagnostic: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\"type\":\"report\",\"label\":\"");
+        escape_into(&mut out, &self.label);
+        out.push_str("\"}\n");
+        for (idx, span) in self.trace.spans.iter().enumerate() {
+            out.push_str("{\"type\":\"span\",\"id\":");
+            let _ = write!(out, "{idx}");
+            out.push_str(",\"parent\":");
+            match span.parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"depth\":{},\"name\":\"", span.depth);
+            escape_into(&mut out, &span.name);
+            let _ = write!(
+                out,
+                "\",\"start\":{},\"end\":{},\"cycles\":{},\"energy_j\":",
+                span.start_cycle,
+                span.end_cycle,
+                span.cycles()
+            );
+            push_f64(&mut out, span.energy_j);
+            out.push_str("}\n");
+        }
+        for (name, metric) in self.metrics.iter() {
+            if metric.diagnostic && !include_diagnostic {
+                continue;
+            }
+            push_metric_line(&mut out, name, metric);
+        }
+        out
+    }
+
+    /// Render a human-readable table: the span tree (cycles, share of the
+    /// enclosing root span, energy) followed by the metric registry.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.label);
+        if !self.trace.spans.is_empty() {
+            let _ =
+                writeln!(out, "{:<38} {:>14} {:>7} {:>12}", "span", "cycles", "share", "energy");
+            let mut root_cycles = 0u64;
+            for span in &self.trace.spans {
+                if span.parent.is_none() {
+                    root_cycles = span.cycles();
+                }
+                let share = if root_cycles > 0 {
+                    100.0 * span.cycles() as f64 / root_cycles as f64
+                } else {
+                    0.0
+                };
+                let indent = "  ".repeat(span.depth as usize);
+                let energy = if span.energy_j > 0.0 {
+                    format!("{:.4e} J", span.energy_j)
+                } else {
+                    "-".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<38} {:>14} {:>6.1}% {:>12}",
+                    format!("{indent}{}", span.name),
+                    span.cycles(),
+                    share,
+                    energy
+                );
+            }
+        }
+        if !self.metrics.is_empty() {
+            let _ = writeln!(out, "{:<38} {:>22} {:<10}", "metric", "value", "unit");
+            for (name, metric) in self.metrics.iter() {
+                let marker = if metric.diagnostic { " (diag)" } else { "" };
+                match &metric.value {
+                    MetricValue::Counter(c) => {
+                        let _ = writeln!(out, "{:<38} {:>22} {:<10}{marker}", name, c, metric.unit);
+                    }
+                    MetricValue::Gauge(g) => {
+                        let _ =
+                            writeln!(out, "{:<38} {:>22.6} {:<10}{marker}", name, g, metric.unit);
+                    }
+                    MetricValue::Histogram(h) => {
+                        let _ = writeln!(
+                            out,
+                            "{:<38} {:>22} {:<10}{marker}",
+                            name,
+                            format!(
+                                "n={} mean={:.2} max={}",
+                                h.count,
+                                h.mean(),
+                                if h.count == 0 { 0 } else { h.max }
+                            ),
+                            metric.unit
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn push_metric_line(out: &mut String, name: &str, metric: &Metric) {
+    let kind = match metric.value {
+        MetricValue::Counter(_) => "counter",
+        MetricValue::Gauge(_) => "gauge",
+        MetricValue::Histogram(_) => "histogram",
+    };
+    let _ = write!(out, "{{\"type\":\"{kind}\",\"name\":\"");
+    escape_into(out, name);
+    out.push_str("\",\"unit\":\"");
+    escape_into(out, metric.unit);
+    out.push('"');
+    if metric.diagnostic {
+        out.push_str(",\"diagnostic\":true");
+    }
+    match &metric.value {
+        MetricValue::Counter(c) => {
+            let _ = write!(out, ",\"value\":{c}");
+        }
+        MetricValue::Gauge(g) => {
+            out.push_str(",\"value\":");
+            push_f64(out, *g);
+        }
+        MetricValue::Histogram(h) => {
+            let min = if h.count == 0 { 0 } else { h.min };
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+                h.count, h.sum, min, h.max
+            );
+            out.push_str(",\"buckets\":[");
+            let mut first = true;
+            for (idx, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{idx},{n}]");
+            }
+            out.push(']');
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// JSON string escaping for the characters that can occur in span and
+/// metric names (quotes, backslashes, control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON number formatting for `f64`: shortest round-trip form via `{}`,
+/// `null` for non-finite values (JSON has no NaN/inf).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_escapes_and_orders() {
+        let mut r = Report::new("scene \"a\"");
+        let root = r.trace.begin("frame", 0);
+        r.trace.record("sampling", 0, 10);
+        r.trace.end(root, 10);
+        r.metrics.counter_add("noc.bytes", "bytes", 7);
+        r.metrics.diagnostic_gauge_set("worker.util", "ratio", 0.25);
+        let full = r.to_jsonl();
+        assert!(full.contains("scene \\\"a\\\""));
+        assert!(full.contains("\"type\":\"span\""));
+        assert!(full.contains("worker.util"));
+        let det = r.deterministic_jsonl();
+        assert!(det.contains("noc.bytes"));
+        assert!(!det.contains("worker.util"), "diagnostic metrics excluded");
+    }
+
+    #[test]
+    fn non_finite_gauges_serialize_as_null() {
+        let mut r = Report::new("x");
+        r.metrics.gauge_set("bad", "ratio", f64::NAN);
+        assert!(r.to_jsonl().contains("\"value\":null"));
+    }
+
+    #[test]
+    fn table_renders_tree_and_metrics() {
+        let mut r = Report::new("lego");
+        let root = r.trace.begin("frame", 0);
+        r.trace.record("interp", 0, 60);
+        r.trace.record("postproc", 60, 100);
+        r.trace.end(root, 100);
+        r.metrics.observe("ray.samples", "samples", 12);
+        let table = r.render_table();
+        assert!(table.contains("== lego =="));
+        assert!(table.contains("  interp"));
+        assert!(table.contains("60.0%"));
+        assert!(table.contains("ray.samples"));
+    }
+}

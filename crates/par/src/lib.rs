@@ -229,6 +229,31 @@ impl Pool {
         )
     }
 
+    /// [`Pool::parallel_chunks_with`] that also reports per-worker
+    /// scheduling statistics for the dispatch. The chunk results obey
+    /// the usual determinism contract; the [`DispatchStats`] do **not**
+    /// (work stealing makes the task→worker assignment depend on
+    /// timing), so treat them as diagnostic only.
+    pub fn parallel_chunks_with_stats<T, S, I, F>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        init: I,
+        work: F,
+    ) -> (Vec<T>, DispatchStats)
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, Range<usize>, &mut S) -> T + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let ranges: Vec<Range<usize>> =
+            (0..len.div_ceil(chunk_size)).map(|i| chunk_range(i, chunk_size, len)).collect();
+        self.run_indexed_with_stats(ranges.len(), init, |index, state| {
+            work(index, ranges[index].clone(), state)
+        })
+    }
+
     /// Core dispatch: executes `task(0..count)` across the pool and
     /// collects results into index-addressed slots. Work distribution
     /// (round-robin seeding + stealing) affects only *who* runs a
@@ -242,17 +267,36 @@ impl Pool {
         I: Fn() -> S + Sync,
         F: Fn(usize, &mut S) -> T + Sync,
     {
+        self.run_indexed_with_stats(count, init, task).0
+    }
+
+    /// [`Pool::run_indexed_with`] plus per-worker task counts. The
+    /// counting is one local `u64` increment per task — noise next to
+    /// any real chunk — so the plain combinators share this path.
+    fn run_indexed_with_stats<T, S, I, F>(
+        &self,
+        count: usize,
+        init: I,
+        task: F,
+    ) -> (Vec<T>, DispatchStats)
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
         if count == 0 {
-            return Vec::new();
+            return (Vec::new(), DispatchStats::default());
         }
         let workers = self.threads.min(count);
         if workers <= 1 {
             // Inline fast path: no scope, no deques, no locking.
             let mut state = init();
-            return (0..count).map(|index| task(index, &mut state)).collect();
+            let out = (0..count).map(|index| task(index, &mut state)).collect();
+            return (out, DispatchStats { tasks_per_worker: vec![count as u64] });
         }
 
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let counts: Vec<Mutex<u64>> = (0..workers).map(|_| Mutex::new(0)).collect();
         let injector = Injector::new();
         let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
         let stealers: Vec<Stealer<usize>> = locals.iter().map(Worker::stealer).collect();
@@ -263,24 +307,94 @@ impl Pool {
         }
 
         thread::scope(|scope| {
-            for local in locals {
-                scope.spawn(|| {
+            let (slots, counts) = (&slots, &counts);
+            let (injector, stealers) = (&injector, &stealers);
+            let (init, task) = (&init, &task);
+            for (worker, local) in locals.into_iter().enumerate() {
+                scope.spawn(move || {
                     let local = local;
                     let mut state = init();
-                    while let Some(index) = next_task(&local, &injector, &stealers) {
+                    let mut done: u64 = 0;
+                    while let Some(index) = next_task(&local, injector, stealers) {
                         *slots[index].lock() = Some(task(index, &mut state));
+                        done += 1;
                     }
+                    *counts[worker].lock() = done;
                 });
             }
         });
 
-        slots
+        let stats =
+            DispatchStats { tasks_per_worker: counts.into_iter().map(Mutex::into_inner).collect() };
+        let out = slots
             .into_iter()
             // The deque seeding hands every index to exactly one
             // worker before the scope joins, so every slot is filled.
             // lint: allow(p1): invariant — every task index ran exactly once
             .map(|slot| slot.into_inner().expect("every task index ran exactly once"))
-            .collect()
+            .collect();
+        (out, stats)
+    }
+}
+
+/// Per-worker scheduling statistics from one pool dispatch.
+///
+/// **Diagnostic only.** The task→worker assignment comes from work
+/// stealing, so these numbers vary run to run and with the thread
+/// count; they are deliberately excluded from the determinism
+/// contract. Record them through the `obs`-feature
+/// `DispatchStats::record`, which flags every entry diagnostic so it
+/// stays out of `fusion3d_obs::Report::deterministic_jsonl`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Number of tasks each worker thread executed, indexed by worker.
+    pub tasks_per_worker: Vec<u64>,
+}
+
+impl DispatchStats {
+    /// Number of worker threads that participated in the dispatch.
+    pub fn workers(&self) -> usize {
+        self.tasks_per_worker.len()
+    }
+
+    /// Total tasks executed across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks_per_worker.iter().copied().fold(0u64, u64::saturating_add)
+    }
+
+    /// Load balance in `[0, 1]`: mean worker load over the busiest
+    /// worker's load (1.0 = perfectly even). Empty dispatches report
+    /// 1.0.
+    pub fn balance(&self) -> f64 {
+        let max = self.tasks_per_worker.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let mean = self.total_tasks() as f64 / self.workers() as f64;
+        mean / max as f64
+    }
+
+    /// Records the dispatch as **diagnostic** metrics under
+    /// `{prefix}.`: per-worker task counters
+    /// (`{prefix}.worker.{i}.tasks`), the worker count, and the
+    /// [`DispatchStats::balance`] gauge. Diagnostic because the values
+    /// are scheduling-dependent; they never appear in the
+    /// deterministic export stream.
+    #[cfg(feature = "obs")]
+    pub fn record(&self, prefix: &str, metrics: &mut fusion3d_obs::Metrics) {
+        for (worker, &tasks) in self.tasks_per_worker.iter().enumerate() {
+            metrics.diagnostic_counter_add(
+                &format!("{prefix}.worker.{worker}.tasks"),
+                "tasks",
+                tasks,
+            );
+        }
+        metrics.diagnostic_counter_add(
+            &format!("{prefix}.workers"),
+            "threads",
+            self.workers() as u64,
+        );
+        metrics.diagnostic_gauge_set(&format!("{prefix}.balance"), "ratio", self.balance());
     }
 }
 
@@ -317,6 +431,46 @@ mod tests {
         // Deliberately order-sensitive accumulation (f32 addition is
         // non-associative) to catch any reduction-order drift.
         range.map(|i| 1.0f32 / (i as f32 + 1.0)).sum()
+    }
+
+    #[test]
+    fn dispatch_stats_cover_every_task_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            let (out, stats) = Pool::with_threads(threads).parallel_chunks_with_stats(
+                1000,
+                37,
+                || (),
+                |_, range, ()| weights(range),
+            );
+            assert_eq!(out.len(), 1000usize.div_ceil(37));
+            assert_eq!(stats.total_tasks(), out.len() as u64, "threads={threads}");
+            assert!(stats.workers() <= threads);
+            let balance = stats.balance();
+            assert!((0.0..=1.0).contains(&balance), "balance={balance}");
+        }
+    }
+
+    #[test]
+    fn dispatch_stats_results_stay_deterministic() {
+        let reference: Vec<f32> =
+            Pool::with_threads(1).parallel_chunks(1000, 37, |_, range| weights(range));
+        let (got, _stats) = Pool::with_threads(4).parallel_chunks_with_stats(
+            1000,
+            37,
+            || (),
+            |_, range, ()| weights(range),
+        );
+        for (a, b) in reference.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_dispatch_stats_are_benign() {
+        let stats = DispatchStats::default();
+        assert_eq!(stats.total_tasks(), 0);
+        assert_eq!(stats.workers(), 0);
+        assert_eq!(stats.balance(), 1.0);
     }
 
     #[test]

@@ -11,6 +11,13 @@ cargo test --workspace -q
 cargo run --release -q -p fusion3d-lint
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+# Docs are tier-1 too: broken intra-doc links or missing crate docs
+# fail the build, and every doc example must keep compiling + passing.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+cargo test --workspace --doc -q
+# The obs feature is off by default (probes compile out); make sure the
+# instrumented build stays green too.
+cargo test -q -p fusion3d-nerf --features obs
 # Keep the throughput harness runnable; the smoke run takes ~a second
 # and writes its report under target/ (full runs write BENCH_perf.json).
 cargo run --release -q -p fusion3d-bench --bin perf -- --smoke --out target/BENCH_perf_smoke.json

@@ -24,7 +24,19 @@
 //! * [`par`] — the deterministic multi-core execution layer: frame
 //!   rendering, training steps, and scene sweeps fan out across a
 //!   work-stealing pool (`FUSION3D_THREADS` sets the worker count)
-//!   while producing bitwise-identical results at any thread count.
+//!   while producing bitwise-identical results at any thread count;
+//! * [`obs`] — the deterministic observability layer: simulated-cycle
+//!   span traces, typed counters/gauges/histograms, and JSON-lines +
+//!   table report rendering (see `docs/OBSERVABILITY.md`).
+//!
+//! ## Determinism contract
+//!
+//! Every result-bearing quantity in the workspace — rendered pixels,
+//! trained parameters, simulated cycles, recorded metrics — is a pure
+//! function of explicit inputs: bitwise-identical across runs,
+//! machines, and `FUSION3D_THREADS` settings. No wall-clock time, no
+//! unseeded randomness, no iteration over unordered containers. The
+//! `fusion3d-lint` binary enforces the supporting bans statically.
 //!
 //! ## Quickstart
 //!
@@ -61,4 +73,5 @@ pub use fusion3d_core as core;
 pub use fusion3d_mem as mem;
 pub use fusion3d_multichip as multichip;
 pub use fusion3d_nerf as nerf;
+pub use fusion3d_obs as obs;
 pub use fusion3d_par as par;
