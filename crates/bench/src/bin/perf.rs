@@ -18,12 +18,15 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use fusion3d_bench::support::{scene_occupancy, trace_camera};
+use fusion3d_nerf::camera::Camera;
 use fusion3d_nerf::encoding::{HashGrid, HashGridConfig};
 use fusion3d_nerf::math::Vec3;
 use fusion3d_nerf::mlp::{Activation, Mlp, MlpBatchCache};
-use fusion3d_nerf::model::{ModelConfig, NerfModel};
+use fusion3d_nerf::model::{ModelConfig, ModelOptimizer, NerfModel, PointContext};
+use fusion3d_nerf::occupancy::OccupancyGrid;
 use fusion3d_nerf::pipeline::{render_image, PipelineConfig};
 use fusion3d_nerf::reference;
+use fusion3d_nerf::render::{composite, composite_backward, ShadedSample};
 use fusion3d_nerf::sampler::{sample_ray, SamplerConfig};
 use fusion3d_nerf::trainer::{Trainer, TrainerConfig};
 use fusion3d_nerf::{Dataset, ProceduralScene, SyntheticScene};
@@ -38,18 +41,6 @@ struct BenchLine {
     batched_pts_per_s: f64,
     scalar_pts_per_s: Option<f64>,
     speedup: Option<f64>,
-}
-
-/// Best-of-`reps` wall time of `work`, after one warmup call.
-fn time_best<F: FnMut()>(reps: usize, mut work: F) -> f64 {
-    work();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        work();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
 }
 
 /// Times the two sides of a comparison in alternating rounds and
@@ -179,8 +170,36 @@ fn bench_model() -> ModelConfig {
     }
 }
 
-/// Full single-thread render (Stage I–III) through the batched
-/// pipeline, in retained samples per second.
+/// Renders every pixel through the scalar reference kernels: Stage I
+/// via [`sample_ray`], Stage II one point at a time via
+/// [`reference::model_forward`], Stage III via the allocating
+/// [`composite`]. The pre-batched pipeline, preserved as a baseline.
+fn scalar_render(
+    model: &NerfModel,
+    occupancy: &OccupancyGrid,
+    camera: &Camera,
+    sampler: &SamplerConfig,
+    background: Vec3,
+) {
+    for y in 0..camera.height() {
+        for x in 0..camera.width() {
+            let ray = camera.ray_for_pixel(x, y);
+            let (samples, _) = sample_ray(&ray, occupancy, sampler);
+            let positions: Vec<Vec3> = samples.iter().map(|s| s.position).collect();
+            let (sigmas, colors) = reference::model_forward(model, &positions, ray.direction);
+            let shaded: Vec<ShadedSample> = samples
+                .iter()
+                .zip(sigmas.iter().zip(colors.iter()))
+                .map(|(s, (&sigma, &color))| ShadedSample { sigma, color, dt: s.dt })
+                .collect();
+            black_box(composite(&shaded, background, false).color);
+        }
+    }
+}
+
+/// Full single-thread render (Stage I–III): the batched SoA pipeline
+/// vs the scalar per-point reference path, in retained samples per
+/// second.
 fn bench_render(smoke: bool) -> BenchLine {
     let mut rng = SmallRng::seed_from_u64(19);
     let model = NerfModel::new(bench_model(), &mut rng);
@@ -199,49 +218,129 @@ fn bench_render(smoke: bool) -> BenchLine {
     }
 
     let reps = if smoke { 1 } else { 3 };
-    let secs = time_best(reps, || {
-        black_box(render_image(&model, &occupancy, &camera, &config));
-    });
+    let (batched, scalar, speedup) = time_paired(
+        reps,
+        || {
+            black_box(render_image(&model, &occupancy, &camera, &config));
+        },
+        || {
+            scalar_render(&model, &occupancy, &camera, &sampler, config.background);
+        },
+    );
     BenchLine {
         name: "render",
         points: samples,
-        batched_pts_per_s: samples as f64 / secs,
-        scalar_pts_per_s: None,
-        speedup: None,
+        batched_pts_per_s: samples as f64 / batched,
+        scalar_pts_per_s: Some(samples as f64 / scalar),
+        speedup: Some(speedup),
     }
 }
 
-/// Full single-thread training step (forward + backward + Adam)
-/// through the batched pipeline, in processed samples per second.
+/// One training step through the scalar reference kernels: per ray,
+/// Stage I via [`sample_ray`], a scalar forward per sample for
+/// compositing, the allocating [`composite_backward`], then a second
+/// scalar forward feeding [`NerfModel::backward`] per sample — the
+/// O(1)-context design the batched trainer replaced. Gradients merge
+/// into one accumulator and Adam applies once, matching
+/// [`Trainer::step`]'s update structure. Returns the processed sample
+/// count.
+#[allow(clippy::too_many_arguments)]
+fn scalar_train_step<R: Rng>(
+    model: &mut NerfModel,
+    optimizer: &mut ModelOptimizer,
+    grads: &mut fusion3d_nerf::model::ModelGrads,
+    occupancy: &OccupancyGrid,
+    dataset: &Dataset,
+    config: &TrainerConfig,
+    ctx: &mut PointContext,
+    rng: &mut R,
+) -> usize {
+    let batch = dataset.sample_batch(config.rays_per_batch, rng);
+    let inv_norm = 1.0 / (batch.len() as f32 * 3.0);
+    grads.zero();
+    let mut total = 0usize;
+    for (ray, target) in &batch {
+        let (samples, _) = sample_ray(ray, occupancy, &config.sampler);
+        total += samples.len();
+        let positions: Vec<Vec3> = samples.iter().map(|s| s.position).collect();
+        let (sigmas, colors) = reference::model_forward(model, &positions, ray.direction);
+        let shaded: Vec<ShadedSample> = samples
+            .iter()
+            .zip(sigmas.iter().zip(colors.iter()))
+            .map(|(s, (&sigma, &color))| ShadedSample { sigma, color, dt: s.dt })
+            .collect();
+        let out = composite(&shaded, config.background, false);
+        let err = out.color - *target;
+        let d_pixel = err * (2.0 * inv_norm);
+        let sample_grads = composite_backward(&shaded, config.background, d_pixel);
+        for (s, g) in samples.iter().zip(sample_grads.iter()) {
+            model.forward(s.position, ray.direction, ctx);
+            model.backward(s.position, ctx, g.d_sigma, g.d_color, grads);
+        }
+    }
+    optimizer.step(model, grads);
+    total
+}
+
+/// Full single-thread training step (forward + backward + Adam): the
+/// batched sharded trainer vs the scalar per-sample reference loop,
+/// in processed samples per second. Both sides draw identical ray
+/// batches (same seed, same draw count per step) against the same
+/// fully-occupied warmup grid, so every paired round does the same
+/// Stage-I work.
 fn bench_train_step(smoke: bool) -> BenchLine {
     let scene = ProceduralScene::synthetic(SyntheticScene::Lego);
     let dataset = Dataset::from_scene(&scene, 4, 64, 0.9);
     let mut rng = SmallRng::seed_from_u64(23);
     let model = NerfModel::new(bench_model(), &mut rng);
-    let mut trainer = Trainer::new(
-        model,
-        TrainerConfig {
-            rays_per_batch: if smoke { 32 } else { 256 },
-            sampler: SamplerConfig { steps_per_diagonal: 96, max_samples_per_ray: 64 },
-            occupancy_warmup: u32::MAX,
-            ..TrainerConfig::default()
+    let config = TrainerConfig {
+        rays_per_batch: if smoke { 32 } else { 256 },
+        sampler: SamplerConfig { steps_per_diagonal: 96, max_samples_per_ray: 64 },
+        occupancy_warmup: u32::MAX,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = Trainer::new(model.clone(), config);
+    let mut batched_rng = SmallRng::seed_from_u64(29);
+
+    let mut scalar_model = model;
+    let mut optimizer = ModelOptimizer::new(config.adam, &scalar_model);
+    let mut grads = scalar_model.alloc_grads();
+    let mut occupancy = OccupancyGrid::new(config.occupancy_resolution, config.occupancy_threshold);
+    occupancy.fill();
+    let mut ctx = PointContext::new();
+    let mut scalar_rng = SmallRng::seed_from_u64(29);
+
+    let steps = if smoke { 1 } else { 10 };
+    let mut samples = 0usize;
+    let mut calls = 0usize;
+    let (batched, scalar, speedup) = time_paired(
+        steps,
+        || {
+            samples += trainer.step(&dataset, &mut batched_rng).samples;
+            calls += 1;
+        },
+        || {
+            black_box(scalar_train_step(
+                &mut scalar_model,
+                &mut optimizer,
+                &mut grads,
+                &occupancy,
+                &dataset,
+                &config,
+                &mut ctx,
+                &mut scalar_rng,
+            ));
         },
     );
-    let mut step_rng = SmallRng::seed_from_u64(29);
-    // Warmup sizes the per-shard scratch.
-    let mut samples = trainer.step(&dataset, &mut step_rng).samples;
-    let steps = if smoke { 1 } else { 10 };
-    let start = Instant::now();
-    for _ in 0..steps {
-        samples = trainer.step(&dataset, &mut step_rng).samples;
-    }
-    let secs = start.elapsed().as_secs_f64() / steps as f64;
+    // Batch contents vary per step; report the mean samples per step
+    // (both sides process the same batches, so one count serves both).
+    let samples = samples / calls.max(1);
     BenchLine {
         name: "train_step",
         points: samples,
-        batched_pts_per_s: samples as f64 / secs,
-        scalar_pts_per_s: None,
-        speedup: None,
+        batched_pts_per_s: samples as f64 / batched,
+        scalar_pts_per_s: Some(samples as f64 / scalar),
+        speedup: Some(speedup),
     }
 }
 

@@ -100,7 +100,9 @@ pub fn bandwidth_for_model_size(
     seconds: f64,
 ) -> ModelSizePoint {
     let fits = param_bytes <= sram_bytes;
-    let bytes = if fits {
+    // The else branch divides by `param_bytes`, which the branch
+    // condition keeps nonzero: `param_bytes > sram_bytes >= 0`.
+    let bytes = if param_bytes <= sram_bytes {
         volume.end_to_end_io
     } else {
         let miss_ratio = 1.0 - sram_bytes as f64 / param_bytes as f64;

@@ -48,6 +48,17 @@ pub struct Token {
     pub line: u32,
 }
 
+/// One `// lint: allow(rule, …)` escape-hatch directive.
+#[derive(Debug, Default, Clone)]
+pub struct AllowDirective {
+    /// Suppressed rule names, lowercase, in source order.
+    pub rules: Vec<String>,
+    /// Whether the directive carries a trailing justification —
+    /// `allow(rule): why` or `allow(rule) -- why` with non-empty text.
+    /// Reasonless directives are reported by rule U1.
+    pub has_reason: bool,
+}
+
 /// The result of lexing one source file.
 #[derive(Debug, Default)]
 pub struct LexedFile {
@@ -57,15 +68,42 @@ pub struct LexedFile {
     /// directive suppresses findings on its own line and on the line
     /// directly below it (so it can trail the offending code or sit
     /// on its own line above it). Rule names are stored lowercase.
-    pub allows: BTreeMap<u32, Vec<String>>,
+    pub allows: BTreeMap<u32, AllowDirective>,
+    /// Continuation comment lines: a code-free `//` comment line
+    /// directly below a directive (or below another continuation)
+    /// maps to the directive's anchor line, letting a multi-line
+    /// reason comment carry the directive down to the code it guards.
+    pub continuations: BTreeMap<u32, u32>,
 }
 
 impl LexedFile {
     /// Whether findings for `rule` are suppressed at `line`.
     pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allow_line(rule, line).is_some()
+    }
+
+    /// The directive line that suppresses `rule` at `line`, if any —
+    /// the directive's own line, the line directly above, or the
+    /// anchor of a continuation comment block ending directly above.
+    /// Rules use the returned line to record the suppression as
+    /// *used* (U1).
+    pub fn allow_line(&self, rule: &str, line: u32) -> Option<u32> {
         let rule = rule.to_ascii_lowercase();
-        let hit = |l: u32| self.allows.get(&l).is_some_and(|rules| rules.contains(&rule));
-        hit(line) || (line > 1 && hit(line - 1))
+        let hit = |l: u32| self.allows.get(&l).is_some_and(|d| d.rules.contains(&rule));
+        if hit(line) {
+            return Some(line);
+        }
+        if line > 1 {
+            if hit(line - 1) {
+                return Some(line - 1);
+            }
+            if let Some(&anchor) = self.continuations.get(&(line - 1)) {
+                if hit(anchor) {
+                    return Some(anchor);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -116,19 +154,44 @@ impl Lexer {
     }
 
     /// `// …` — consumed to end of line; may carry an allow directive.
+    /// Doc comments (`///`, `//!`) never do: their prose and fenced
+    /// examples routinely *mention* the directive syntax, and parsing
+    /// those would register phantom suppressions (tripping U1).
     fn line_comment(&mut self) {
         let start = self.pos;
+        let doc = matches!(self.peek(2), Some('/' | '!'));
         while let Some(c) = self.peek(0) {
             if c == '\n' {
                 break;
             }
             self.pos += 1;
         }
-        let text: String = self.chars[start..self.pos].iter().collect();
-        self.record_allow(&text);
+        if !doc {
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.record_allow(&text);
+            // A code-free comment line directly below a directive (or
+            // below one of its continuations) carries that directive's
+            // coverage forward — multi-line reason comments would
+            // otherwise strand the directive above the code it guards.
+            let pure = self.out.tokens.last().is_none_or(|t| t.line != self.line);
+            if pure && !self.out.allows.contains_key(&self.line) && self.line > 1 {
+                let above = self.line - 1;
+                let anchor = if self.out.allows.contains_key(&above) {
+                    Some(above)
+                } else {
+                    self.out.continuations.get(&above).copied()
+                };
+                if let Some(anchor) = anchor {
+                    self.out.continuations.insert(self.line, anchor);
+                }
+            }
+        }
     }
 
-    /// Parses `lint: allow(rule1, rule2)` out of a comment body.
+    /// Parses `lint: allow(rule1, rule2): reason` out of a comment
+    /// body. The reason text after the closing paren may be introduced
+    /// by `:`, `--`, or `—`; its presence is recorded so U1 can flag
+    /// reasonless suppressions.
     fn record_allow(&mut self, comment: &str) {
         let Some(at) = comment.find("lint:") else { return };
         let rest = comment[at + "lint:".len()..].trim_start();
@@ -139,8 +202,14 @@ impl Lexer {
             .map(|r| r.trim().to_ascii_lowercase())
             .filter(|r| !r.is_empty())
             .collect();
+        let tail = rest[close + 1..].trim();
+        let has_reason = [":", "--", "—"]
+            .iter()
+            .any(|sep| tail.strip_prefix(sep).is_some_and(|r| !r.trim().is_empty()));
         if !rules.is_empty() {
-            self.out.allows.entry(self.line).or_default().extend(rules);
+            let entry = self.out.allows.entry(self.line).or_default();
+            entry.rules.extend(rules);
+            entry.has_reason |= has_reason;
         }
     }
 
@@ -428,5 +497,19 @@ mod tests {
         assert!(file.is_allowed("p1", 2), "directive covers the next line");
         assert!(!file.is_allowed("p1", 3));
         assert!(file.is_allowed("a1", 4));
+    }
+
+    #[test]
+    fn continuation_comments_extend_directives() {
+        let src = "// lint: allow(h2): first line of\n// a two-line reason\nf();\ng();";
+        let file = lex(src);
+        assert!(file.is_allowed("h2", 3), "directive rides the comment block down");
+        assert_eq!(file.allow_line("h2", 3), Some(1), "usage credits the anchor line");
+        assert!(!file.is_allowed("h2", 4), "coverage stops at the first code line");
+
+        // A trailing comment on a code line is not a continuation.
+        let src = "// lint: allow(h2): reason\nf(); // unrelated note\ng();";
+        let file = lex(src);
+        assert!(!file.is_allowed("h2", 3));
     }
 }

@@ -8,19 +8,15 @@
 //! narrowing cast in an energy total — so this crate machine-checks
 //! the discipline on every change. It lexes the workspace's Rust
 //! sources with a small hand-rolled tokenizer (no `syn`; the repo
-//! builds offline) and enforces seven repo-specific rules:
+//! builds offline), recovers the item skeleton (fns, impls, modules)
+//! with a lightweight parser, builds a conservative workspace call
+//! graph, and enforces twelve repo-specific rules — token-local
+//! (D1–D3, P1, A1, H1, O1), interprocedural (P2, H2), parallel-closure
+//! (D4, D5), and suppression hygiene (U1). The full catalogue with
+//! rationale and examples lives in `docs/LINTS.md`.
 //!
-//! | Rule | Invariant |
-//! |------|-----------|
-//! | D1   | no `HashMap`/`HashSet` in result-bearing crates |
-//! | D2   | no wall-clock / ambient randomness / env reads in simulator crates |
-//! | D3   | no raw `std::thread` outside `crates/par` |
-//! | P1   | no `unwrap()`/`expect()`/`panic!` family in library code |
-//! | A1   | no lossy `as` casts in cycle/energy accounting modules |
-//! | H1   | no `Vec::new`/`vec![…]`/`.clone()` in hot-path kernel modules |
-//! | O1   | no `println!`/`eprintln!` in library code — printing belongs to binaries |
-//!
-//! Legitimate exceptions carry a per-line escape hatch:
+//! Legitimate exceptions carry a per-line escape hatch **with a
+//! mandatory reason** (U1 reports reasonless or unused suppressions):
 //!
 //! ```text
 //! let forced = std::env::var(THREADS_ENV); // lint: allow(d2): worker count never affects results
@@ -28,18 +24,27 @@
 //!
 //! The directive suppresses the named rule(s) on its own line and the
 //! line directly below, so it can trail the offending expression or
-//! sit above a rustfmt-wrapped statement.
+//! sit above a rustfmt-wrapped statement. Plain `//` comment lines
+//! directly below a directive extend its coverage to the line after
+//! them, so a reason that needs two comment lines still guards the
+//! code underneath. The catalogue in `docs/LINTS.md` documents the
+//! full syntax.
 //!
 //! Known over-approximations, by design: any attribute containing the
 //! identifier `test` (e.g. `#[cfg(test)]`, `#[test]`) marks its item
 //! as test code and exempts it from every rule; `cfg(not(test))` is
 //! unused in this workspace and would be exempted too. Out-of-line
 //! `#[cfg(test)] mod x;` declarations are not followed — test modules
-//! live inline or under `tests/`, which is never scanned.
+//! live inline or under `tests/`, which is never scanned. The call
+//! graph resolves names without type inference, so reachability is an
+//! over-approximation (see [`graph`]).
 
 #![warn(missing_docs)]
 
+pub mod graph;
+pub mod interproc;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 pub use rules::Finding;
@@ -47,6 +52,17 @@ pub use rules::Finding;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// One lexed + parsed source file of the workspace under analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Token stream and allow directives.
+    pub lexed: lexer::LexedFile,
+    /// Item skeleton (fns, uses, statics).
+    pub parsed: parse::ParsedFile,
+}
 
 /// The outcome of linting a workspace.
 #[derive(Debug, Default)]
@@ -64,12 +80,46 @@ impl Report {
     }
 }
 
+/// Lints a set of in-memory sources as one workspace: token-local
+/// rules per file, then the call-graph rules (P2/H2/D4/D5) across all
+/// of them, then U1 over the accumulated suppression usage. Findings
+/// come back sorted by (path, line, rule) — the canonical order every
+/// consumer (CLI, baseline diff, tests) relies on.
+pub fn lint_sources(sources: &[(String, String)]) -> Report {
+    let mut files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, source)| {
+            let lexed = lexer::lex(source);
+            let parsed = parse::parse_file(&lexed);
+            SourceFile { path: path.clone(), lexed, parsed }
+        })
+        .collect();
+    let mut parsed: Vec<&mut parse::ParsedFile> = files.iter_mut().map(|f| &mut f.parsed).collect();
+    parse::resolve_array_aliases(&mut parsed);
+    let files = files;
+    let mut usage: Vec<rules::AllowUsage> =
+        files.iter().map(|_| rules::AllowUsage::new()).collect();
+
+    let mut findings = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        findings.extend(rules::check_file(&file.path, &file.lexed, &mut usage[idx]));
+    }
+    let graph = graph::CallGraph::build(&files);
+    findings.extend(interproc::check(&files, &graph, &mut usage));
+    findings.extend(interproc::check_unused(&files, &usage));
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Report { findings, files_scanned: files.len() }
+}
+
 /// Lints a single source string as if it lived at `rel_path`
 /// (workspace-relative, forward slashes). The path determines which
 /// rules apply — `crates/core/src/energy.rs` is in A1 scope,
-/// `crates/bench/src/lib.rs` is exempt from D2, and so on.
+/// `crates/bench/src/lib.rs` is exempt from D2, and so on. The
+/// interprocedural rules run over the one-file "workspace".
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    rules::check_file(rel_path, &lexer::lex(source))
+    lint_sources(&[(rel_path.to_string(), source.to_string())]).findings
 }
 
 /// Lints every library source tree in the workspace rooted at `root`:
@@ -92,17 +142,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
         collect_rs_files(&root_src, &mut files)?;
     }
 
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let source = fs::read_to_string(&path)?;
-        let rel = relative_path(root, &path);
-        report.findings.extend(lint_source(&rel, &source));
-        report.files_scanned += 1;
+        sources.push((relative_path(root, &path), source));
     }
-    report
-        .findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(report)
+    Ok(lint_sources(&sources))
 }
 
 /// Locates the workspace root at or above `start` by looking for the

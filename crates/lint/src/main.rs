@@ -1,15 +1,23 @@
 //! CLI for `fusion3d-lint`.
 //!
 //! ```text
-//! fusion3d-lint [--root <dir>] [--json]
+//! fusion3d-lint [--root <dir>] [--json] [--baseline <file>] [--write-baseline <file>]
 //! ```
 //!
 //! Human mode prints one `path:line [RULE] message` row per finding
 //! plus a summary; `--json` prints one JSON object per finding (JSON
 //! Lines, stable field order) so CI can diff findings across commits.
-//! Exit status is 0 when the workspace is clean, 1 when findings
-//! exist, 2 on usage or I/O errors.
+//!
+//! `--baseline <file>` reads a committed JSON-lines artifact of known
+//! findings and fails only on findings *not* in it, so the gate is
+//! adoptable incrementally; `--write-baseline <file>` writes the
+//! current findings in that format. A missing or empty baseline file
+//! means "no known findings".
+//!
+//! Exit status is 0 when the workspace is clean (or fully baselined),
+//! 1 when new findings exist, 2 on usage or I/O errors.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,10 +26,12 @@ use fusion3d_lint::{find_workspace_root, lint_workspace, Finding};
 struct Options {
     root: Option<PathBuf>,
     json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut options = Options { root: None, json: false };
+    let mut options = Options { root: None, json: false, baseline: None, write_baseline: None };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,8 +40,18 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--root requires a path argument")?;
                 options.root = Some(PathBuf::from(value));
             }
+            "--baseline" => {
+                let value = args.next().ok_or("--baseline requires a file argument")?;
+                options.baseline = Some(PathBuf::from(value));
+            }
+            "--write-baseline" => {
+                let value = args.next().ok_or("--write-baseline requires a file argument")?;
+                options.write_baseline = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
-                return Err("usage: fusion3d-lint [--root <dir>] [--json]".to_string());
+                return Err("usage: fusion3d-lint [--root <dir>] [--json] \
+                            [--baseline <file>] [--write-baseline <file>]"
+                    .to_string());
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -55,14 +75,44 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn print_finding_json(f: &Finding) {
-    println!(
+fn finding_json(f: &Finding) -> String {
+    format!(
         "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
         f.rule,
         json_escape(&f.path),
         f.line,
         json_escape(&f.message)
-    );
+    )
+}
+
+/// Reads a JSON-lines baseline into a set of verbatim lines. The
+/// comparison is on the serialized form — a finding whose path, line,
+/// rule, or message changed is a *new* finding. A missing file is an
+/// empty baseline; a file with lines that are not finding records is
+/// a malformed artifact and a hard error (exit 2), not an empty one —
+/// silently matching nothing would report every finding as new.
+fn read_baseline(path: &PathBuf) -> Result<BTreeSet<String>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+        Err(err) => return Err(format!("cannot read baseline {}: {err}", path.display())),
+    };
+    let mut baseline = BTreeSet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !(line.starts_with('{') && line.ends_with('}') && line.contains("\"rule\":")) {
+            return Err(format!(
+                "malformed baseline {}: line {} is not a finding record",
+                path.display(),
+                idx + 1
+            ));
+        }
+        baseline.insert(line.to_string());
+    }
+    Ok(baseline)
 }
 
 fn main() -> ExitCode {
@@ -96,21 +146,44 @@ fn main() -> ExitCode {
         }
     };
 
-    if options.json {
+    if let Some(path) = &options.write_baseline {
+        let mut text = String::new();
         for finding in &report.findings {
-            print_finding_json(finding);
+            text.push_str(&finding_json(finding));
+            text.push('\n');
+        }
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("fusion3d-lint: cannot write baseline {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let baseline = match options.baseline.as_ref().map(read_baseline).transpose() {
+        Ok(baseline) => baseline.unwrap_or_default(),
+        Err(message) => {
+            eprintln!("fusion3d-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let (new, known): (Vec<&Finding>, Vec<&Finding>) =
+        report.findings.iter().partition(|f| !baseline.contains(&finding_json(f)));
+
+    if options.json {
+        for finding in &new {
+            println!("{}", finding_json(finding));
         }
     } else {
-        for finding in &report.findings {
+        for finding in &new {
             println!("{}:{} [{}] {}", finding.path, finding.line, finding.rule, finding.message);
         }
     }
     eprintln!(
-        "fusion3d-lint: {} finding(s) across {} file(s)",
-        report.findings.len(),
+        "fusion3d-lint: {} new finding(s), {} baselined, across {} file(s)",
+        new.len(),
+        known.len(),
         report.files_scanned
     );
-    if report.is_clean() {
+    if new.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -36,7 +36,14 @@
 //! A finding on line `L` is suppressed by `// lint: allow(<rule>)` on
 //! line `L` or `L - 1`.
 
+use std::collections::BTreeSet;
+
 use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// Per-file record of which suppressions fired: (directive line,
+/// lowercase rule). Populated by every rule as it consults the allow
+/// table; U1 reports directives that never appear here.
+pub type AllowUsage = BTreeSet<(u32, String)>;
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,8 +59,10 @@ pub struct Finding {
 }
 
 /// Crates whose outputs feed reported results: hash-container
-/// iteration (D1) and ambient nondeterminism (D2) are banned here.
-const RESULT_BEARING_CRATES: &[&str] = &["nerf", "core", "mem", "multichip", "arith", "par", "obs"];
+/// iteration (D1) and ambient nondeterminism (D2) are banned here,
+/// and every public fn is a P2 panic-freedom entry point.
+pub(crate) const RESULT_BEARING_CRATES: &[&str] =
+    &["nerf", "core", "mem", "multichip", "arith", "par", "obs"];
 
 /// Accounting modules where lossy casts silently corrupt cycle and
 /// energy totals (A1).
@@ -76,8 +85,8 @@ const LOSSY_CAST_TARGETS: &[&str] =
 const INT_CAST_TARGETS: &[&str] =
     &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
 
-/// Panicking macros covered by P1 (matched when followed by `!`).
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Panicking macros covered by P1/P2 (matched when followed by `!`).
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Printing macros covered by O1 (matched when followed by `!`).
 /// `write!`/`writeln!` into a caller-supplied sink stay legal.
@@ -105,7 +114,7 @@ struct Scope {
     o1: bool,
 }
 
-fn crate_of(path: &str) -> Option<&str> {
+pub(crate) fn crate_of(path: &str) -> Option<&str> {
     if let Some(rest) = path.strip_prefix("crates/") {
         rest.split('/').next()
     } else if path.starts_with("src/") {
@@ -131,17 +140,22 @@ fn scope_of(path: &str) -> Scope {
     }
 }
 
-/// Runs every applicable rule over one lexed file.
-pub fn check_file(path: &str, file: &LexedFile) -> Vec<Finding> {
+/// Runs every applicable token-local rule over one lexed file,
+/// recording fired suppressions into `usage` (consumed by U1).
+pub fn check_file(path: &str, file: &LexedFile, usage: &mut AllowUsage) -> Vec<Finding> {
     let scope = scope_of(path);
     let in_test = test_mask(&file.tokens);
     let mut findings = Vec::new();
     let tokens = &file.tokens;
 
-    let report = |rule: &'static str, line: u32, message: String, out: &mut Vec<Finding>| {
-        if !file.is_allowed(rule, line) {
-            out.push(Finding { rule, path: path.to_string(), line, message });
+    let usage = std::cell::RefCell::new(usage);
+    let report = |rule: &'static str, line: u32, message: String, out: &mut Vec<Finding>| match file
+        .allow_line(rule, line)
+    {
+        Some(directive_line) => {
+            usage.borrow_mut().insert((directive_line, rule.to_ascii_lowercase()));
         }
+        None => out.push(Finding { rule, path: path.to_string(), line, message }),
     };
 
     for (i, tok) in tokens.iter().enumerate() {

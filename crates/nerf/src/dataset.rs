@@ -109,6 +109,8 @@ impl Dataset {
 
     /// Draws a batch of training rays.
     pub fn sample_batch<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<(Ray, Vec3)> {
+        // lint: allow(h2): one batch-list allocation per training step,
+        // not per sample
         (0..count).map(|_| self.sample_ray(rng)).collect()
     }
 }

@@ -538,6 +538,7 @@ impl HashGrid {
     /// Computes the cell base vertex and trilinear weights of `p` on
     /// `level`. `p` is clamped into `[0,1]^3`.
     fn locate(&self, level: usize, p: Vec3) -> (GridVertex, Vec3) {
+        debug_assert!(level < self.resolutions.len(), "level out of range");
         let res = self.resolutions[level] as f32;
         let q = p.clamp(0.0, 1.0) * res;
         // Clamp the base so that base+1 stays within the virtual grid.

@@ -23,6 +23,8 @@ impl Image {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
+        // lint: allow(h2): one pixel-buffer allocation per created
+        // image — per frame, not per sample, on the render path
         Image { width, height, pixels: vec![Vec3::ZERO; (width * height) as usize] }
     }
 
@@ -76,6 +78,8 @@ impl Image {
     /// Panics in debug builds when out of range.
     #[inline]
     pub fn get(&self, x: u32, y: u32) -> Vec3 {
+        // lint: allow(p2): bounds are debug-asserted in `index`, which
+        // maps (x, y) into the row-major flat range
         self.pixels[self.index(x, y)]
     }
 

@@ -371,6 +371,8 @@ impl Mlp {
                 for (w, v) in row.iter().zip(x.iter()) {
                     acc += w * v;
                 }
+                // lint: allow(h2): scalar reference path pushes into
+                // reserved capacity; hot loops use forward_batch
                 y.push(act.apply(acc));
             }
         }
@@ -412,6 +414,8 @@ impl Mlp {
             .map(|(&d, &y)| {
                 d * self.activation_for_layer(self.layer_count() - 1).derivative_from_output(y)
             })
+            // lint: allow(h2): scalar reference path — hot loops use
+            // backward_batch
             .collect();
 
         for layer in (0..self.layer_count()).rev() {
@@ -454,6 +458,8 @@ impl Mlp {
                     .iter()
                     .zip(cache.activations[layer].iter())
                     .map(|(&d, &y)| d * act.derivative_from_output(y))
+                    // lint: allow(h2): scalar reference path — hot
+                    // loops use backward_batch
                     .collect();
             }
         }
@@ -610,6 +616,10 @@ fn gemm_bias_act(
     out_dim: usize,
     y: &mut [f32],
 ) {
+    debug_assert!(x.len() >= n * in_dim, "x holds n × in_dim inputs");
+    debug_assert!(y.len() >= n * out_dim, "y holds n × out_dim outputs");
+    debug_assert!(weights.len() >= out_dim * in_dim && wt.len() >= in_dim * out_dim);
+    debug_assert!(biases.len() >= out_dim);
     let s_full = n - n % SAMPLE_TILE;
     let o_full = out_dim - out_dim % OUTPUT_TILE;
     for s in (0..s_full).step_by(SAMPLE_TILE) {
@@ -683,6 +693,9 @@ fn grad_gemm(
     gw: &mut [f32],
     gb: &mut [f32],
 ) {
+    debug_assert!(delta.len() >= n * out_dim, "delta holds n × out_dim deltas");
+    debug_assert!(x.len() >= n * in_dim, "x holds n × in_dim inputs");
+    debug_assert!(gw.len() >= out_dim * in_dim && gb.len() >= out_dim);
     // Bias gradients: per output, sample-ascending accumulation.
     for (o, g) in gb.iter_mut().enumerate() {
         let mut acc = *g;
@@ -755,6 +768,8 @@ fn dinput_gemm(
     out_dim: usize,
     d_prev: &mut [f32],
 ) {
+    debug_assert!(delta.len() >= n * out_dim, "delta holds n × out_dim deltas");
+    debug_assert!(weights.len() >= out_dim * in_dim && d_prev.len() >= n * in_dim);
     let s_full = n - n % SAMPLE_TILE;
     let i_full = in_dim - in_dim % INPUT_TILE;
     for s in (0..s_full).step_by(SAMPLE_TILE) {

@@ -272,8 +272,12 @@ impl<E: Encoding> NerfModel<E> {
     /// Allocates zeroed gradient buffers for this model.
     pub fn alloc_grads(&self) -> ModelGrads {
         ModelGrads {
+            // lint: allow(h2): gradient buffers allocated once per
+            // shard at setup, then reused by every step
             grid: vec![0.0; self.encoding.param_count()],
+            // lint: allow(h2): same — one-time setup allocation
             density: vec![0.0; self.density_mlp.param_count()],
+            // lint: allow(h2): same — one-time setup allocation
             color: vec![0.0; self.color_mlp.param_count()],
         }
     }
@@ -289,6 +293,8 @@ impl<E: Encoding> NerfModel<E> {
     /// Evaluates density only (used for occupancy-grid refreshes).
     pub fn density_at(&self, p: Vec3) -> f32 {
         let mut cache = MlpCache::new();
+        // lint: allow(h2): occupancy-refresh probe path — runs per
+        // grid refresh, not per sample
         let mut encoded = vec![0.0; self.encoding.output_dim()];
         self.encoding.interpolate(p, &mut encoded);
         let out = self.density_mlp.forward(&encoded, &mut cache);
@@ -302,6 +308,8 @@ impl<E: Encoding> NerfModel<E> {
         self.encoding.interpolate(position, &mut ctx.encoded);
         let d_out: Vec<f32> = {
             let out = self.density_mlp.forward(&ctx.encoded, &mut ctx.density_cache);
+            // lint: allow(h2): scalar reference path — the batched
+            // pipeline uses forward_batch
             out.to_vec()
         };
         let (sigma, clamped) = Self::density_activation(d_out[0]);
@@ -333,6 +341,8 @@ impl<E: Encoding> NerfModel<E> {
     ) {
         // Color MLP backward.
         let d_rgb = [d_color.x, d_color.y, d_color.z];
+        // lint: allow(h2): scalar reference path — the batched
+        // pipeline uses backward_batch
         let mut d_color_in = vec![0.0f32; self.color_mlp.input_dim()];
         self.color_mlp.backward(&ctx.color_cache, &d_rgb, &mut d_color_in, &mut grads.color);
 
@@ -340,9 +350,11 @@ impl<E: Encoding> NerfModel<E> {
         // (dσ/draw = σ through the exponential, zero where clamped);
         // outputs 1.. are the geometric features feeding the color
         // network.
+        // lint: allow(h2): scalar reference path — see `d_color_in`
         let mut d_density_out = vec![0.0f32; self.density_mlp.output_dim()];
         d_density_out[0] = if ctx.raw_clamped { 0.0 } else { d_sigma * ctx.sigma };
         d_density_out[1..].copy_from_slice(&d_color_in[..self.geo_feature_dim]);
+        // lint: allow(h2): scalar reference path — see `d_color_in`
         let mut d_encoded = vec![0.0f32; self.density_mlp.input_dim()];
         self.density_mlp.backward(
             &ctx.density_cache,

@@ -100,6 +100,7 @@ impl OccupancyGrid {
     /// Whether cell `index` is occupied.
     #[inline]
     pub fn is_cell_occupied(&self, index: usize) -> bool {
+        debug_assert!(index / 64 < self.bits.len(), "cell index out of range");
         (self.bits[index / 64] >> (index % 64)) & 1 == 1
     }
 

@@ -131,6 +131,9 @@ pub fn render_image<E: Encoding>(
                     let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
                     shade_ray(model, occupancy, &ray, config, config.early_stop, scratch).0
                 })
+                // lint: allow(h2): per-chunk pixel buffer is the
+                // parallel dispatch's return convention — one
+                // allocation per chunk, amortized over its rays
                 .collect()
         },
     );
@@ -168,6 +171,8 @@ pub fn render_image_probed<E: Encoding>(
                         let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
                         shade_ray(model, occupancy, &ray, config, config.early_stop, scratch).0
                     })
+                    // lint: allow(h2): per-chunk pixel buffer — see
+                    // render_image
                     .collect();
                 (pixels, scratch.kernel.probes.diff(&before))
             },
@@ -223,6 +228,8 @@ pub fn render_depth_image<E: Encoding>(
                     let ray = camera.ray_for_pixel((i % width) as u32, (i / width) as u32);
                     shade_ray_depth(model, occupancy, &ray, config, scratch)
                 })
+                // lint: allow(h2): per-chunk depth buffer — see
+                // render_image
                 .collect()
         },
     );
@@ -291,6 +298,8 @@ pub fn trace_frame(
             let (samples, workload) = sample_ray(&ray, occupancy, sampler);
             chunk.total_samples += samples.len() as u64;
             chunk.total_steps += workload.total_steps() as u64;
+            // lint: allow(h2): the per-ray workload list is the
+            // frame trace's output product, not shading scratch
             chunk.workloads.push(workload);
         }
         chunk

@@ -132,10 +132,13 @@ pub fn composite_backward_into(
     let mut transmittance = 1.0f32;
     for s in samples {
         let alpha = 1.0 - (-(s.sigma * s.dt).min(MAX_SIGMA_DT)).exp();
+        // lint: allow(h2): amortized — the caller-owned vec is cleared,
+        // not dropped, so capacity is retained across rays
         grads.push(SampleGrad { d_sigma: transmittance, d_color: Vec3::new(alpha, 0.0, 0.0) });
         transmittance *= 1.0 - alpha;
     }
     let t_final = transmittance;
+    debug_assert_eq!(grads.len(), samples.len(), "one stash entry per sample");
 
     // Backward sweep with the suffix sum S, replacing each stash with
     // the real gradient. `t_next` carries `T_{i+1}` (the stash of

@@ -513,6 +513,7 @@ impl ProceduralScene {
 
     /// Builds the ground-truth occupancy grid for this scene.
     pub fn occupancy_grid(&self, resolution: u32) -> OccupancyGrid {
+        debug_assert!(resolution > 0, "occupancy grid needs at least one cell");
         let margin = 1.5 / resolution as f32;
         OccupancyGrid::from_oracle(resolution, 0.0, |p| self.occupied(p, margin))
     }

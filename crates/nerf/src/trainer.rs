@@ -352,6 +352,8 @@ impl<E: crate::encoding::Encoding> Trainer<E> {
         // shards whose start lies past the end of the batch.
         let shard_count = batch.len().div_ceil(rays_per_shard.max(1)).max(1);
         while self.shards.len() < shard_count {
+            // lint: allow(h2): shards grow lazily to the shard count
+            // on the first step, then are reused by every later one
             self.shards.push(ShardScratch::new(&self.model));
         }
         let inv_norm = 1.0 / (batch.len() as f32 * 3.0);
@@ -401,8 +403,8 @@ impl<E: crate::encoding::Encoding> Trainer<E> {
                     scratch.d_sigma.clear();
                     scratch.d_color.clear();
                     for g in &scratch.sample_grads {
-                        scratch.d_sigma.push(g.d_sigma);
-                        scratch.d_color.push(g.d_color);
+                        scratch.d_sigma.push(g.d_sigma); // lint: allow(h2): amortized into retained scratch capacity
+                        scratch.d_color.push(g.d_color); // lint: allow(h2): amortized into retained scratch capacity
                     }
                     model.backward_batch(
                         scratch.samples.positions(),

@@ -5,10 +5,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --workspace --release
+cargo build --release -p fusion3d-lint
 cargo test --workspace -q
-# Repo-specific invariants (determinism, panic-freedom, accounting
-# safety): fails on any finding. Add --json to diff findings in CI.
-cargo run --release -q -p fusion3d-lint
+# Repo-specific invariants (determinism, panic-freedom, allocation-
+# freedom of the hot path): exit 0 = clean, 1 = findings not in the
+# committed baseline, 2 = harness error. The baseline is empty and
+# should stay that way — fix the code or add a reasoned
+# `// lint: allow(rule): why` instead of growing it.
+cargo run --release -q -p fusion3d-lint -- --baseline lint_baseline.jsonl
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 # Docs are tier-1 too: broken intra-doc links or missing crate docs
