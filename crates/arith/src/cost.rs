@@ -66,6 +66,9 @@ mod activity {
 /// which is where FIEM's disproportionate *power* saving (beyond its
 /// area saving) comes from.
 pub fn multiplier(w: u32, h: u32) -> HardwareCost {
+    // Operands are datapath bit-widths; 64 bounds the `w * h` cell
+    // count provably inside u32 (lint rule A2).
+    debug_assert!(w <= 64 && h <= 64, "multiplier operand widths are bit counts");
     let narrow = w.min(h) as f64;
     let act = activity::MULTIPLIER * (0.65 + 0.45 * narrow / 24.0);
     HardwareCost::new((w * h) as f64, act)

@@ -79,6 +79,9 @@ impl<const FRAC_BITS: u32> FixedWeight<FRAC_BITS> {
     ///
     /// Panics if the weight is outside `[0, 1]`.
     pub fn from_f32(w: f32) -> Self {
+        // Keeps `1 << FRAC_BITS` exactly representable in f32 and the
+        // rounded product provably inside i32 (lint rule A4).
+        debug_assert!((0..=24).contains(&FRAC_BITS), "fraction width exceeds f32 significand");
         assert!((0.0..=1.0).contains(&w), "weight out of [0,1]: {w}");
         FixedWeight((w * (1 << FRAC_BITS) as f32).round() as i32)
     }
@@ -98,6 +101,12 @@ impl<const FRAC_BITS: u32> FixedWeight<FRAC_BITS> {
     /// Multiplies a floating-point feature by this weight using FIEM:
     /// one integer multiply plus an exponent shift by `FRAC_BITS`.
     pub fn apply(self, feature: f32) -> f32 {
+        // `from_f32` only produces raw values in [0, 2^FRAC_BITS], so
+        // the widening to u64 below cannot wrap and the 25×24-bit
+        // product fits u64 with room to spare (lint rule A2 verifies
+        // both from these bounds).
+        debug_assert!((0..=24).contains(&FRAC_BITS), "fraction width exceeds f32 significand");
+        debug_assert!((0..=1 << FRAC_BITS).contains(&self.0), "weight raw value out of range");
         let parts = F32Parts::from_f32(feature);
         if self.0 == 0 || parts.significand == 0 {
             return 0.0;

@@ -172,8 +172,10 @@ pub fn simulate_pipeline_attributed(
     let (mut produced1, mut produced2, mut drained) = (0u64, 0u64, 0u64);
     let (mut fifo1, mut fifo2) = (0u64, 0u64);
     let (mut acc1, mut acc2, mut acc3) = (0.0f64, 0.0f64, 0.0f64);
-    // Hard upper bound so a modelling bug cannot spin forever.
-    let limit = (s1.cycles + s2_cycles + s3_cycles + 1000) * 4;
+    // Hard upper bound so a modelling bug cannot spin forever; the
+    // saturating multiply keeps the guard meaningful even for
+    // adversarial stage-cycle sums (lint rule A2).
+    let limit = (s1.cycles + s2_cycles + s3_cycles + 1000).saturating_mul(4);
 
     while drained < total {
         report.cycles += 1;

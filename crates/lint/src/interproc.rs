@@ -178,7 +178,13 @@ fn report(
             return;
         }
     }
-    findings.push(Finding { rule: rules[0], path: files[file_idx].path.clone(), line, message });
+    findings.push(Finding {
+        rule: rules[0],
+        path: files[file_idx].path.clone(),
+        line,
+        message,
+        id: String::new(),
+    });
 }
 
 // ---------------------------------------------------------------- P2
@@ -802,6 +808,7 @@ pub fn check_unused(files: &[SourceFile], usage: &[AllowUsage]) -> Vec<Finding> 
                         directive.rules.join(", "),
                         directive.rules.join(", ")
                     ),
+                    id: String::new(),
                 });
                 continue;
             }
@@ -825,6 +832,7 @@ pub fn check_unused(files: &[SourceFile], usage: &[AllowUsage]) -> Vec<Finding> 
                          deliberately prophylactic",
                         unused.join(", ")
                     ),
+                    id: String::new(),
                 });
             }
         }

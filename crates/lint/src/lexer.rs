@@ -36,16 +36,23 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One token plus the line it starts on.
+/// One token plus the position it starts at.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// What kind of token this is.
     pub kind: TokenKind,
-    /// The token text (identifiers and punctuation verbatim; literals
-    /// may be abbreviated — rules never inspect literal contents).
+    /// The token text. Identifiers, punctuation, and numeric literals
+    /// are verbatim (the abstract interpreter evaluates numeric
+    /// literal text); string and char literals are abbreviated to
+    /// placeholders, since no rule inspects their contents.
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
+    /// 1-based source column the token starts on. Multi-character
+    /// operators are lexed as single-character `Punct` tokens, so
+    /// consumers use column adjacency to tell `>=` from `> =` (the
+    /// latter ends a generic argument list before a binding `=`).
+    pub col: u32,
 }
 
 /// One `// lint: allow(rule, …)` escape-hatch directive.
@@ -109,13 +116,22 @@ impl LexedFile {
 
 /// Lexes `source` into tokens and allow-directives.
 pub fn lex(source: &str) -> LexedFile {
-    Lexer { chars: source.chars().collect(), pos: 0, line: 1, out: LexedFile::default() }.run()
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        out: LexedFile::default(),
+    }
+    .run()
 }
 
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    /// Char index where the current line starts (for column numbers).
+    line_start: usize,
     out: LexedFile,
 }
 
@@ -126,6 +142,7 @@ impl Lexer {
                 '\n' => {
                     self.line += 1;
                     self.pos += 1;
+                    self.line_start = self.pos;
                 }
                 c if c.is_whitespace() => self.pos += 1,
                 '/' if self.peek(1) == Some('/') => self.line_comment(),
@@ -150,7 +167,15 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokenKind, text: String) {
-        self.out.tokens.push(Token { kind, text, line: self.line });
+        self.push_at(kind, text, self.pos);
+    }
+
+    /// Pushes a token that started at char index `start` on the
+    /// current line (tokenisers that consume before pushing pass
+    /// their saved start).
+    fn push_at(&mut self, kind: TokenKind, text: String, start: usize) {
+        let col = (start.saturating_sub(self.line_start) + 1) as u32;
+        self.out.tokens.push(Token { kind, text, line: self.line, col });
     }
 
     /// `// …` — consumed to end of line; may carry an allow directive.
@@ -230,6 +255,7 @@ impl Lexer {
                 (Some('\n'), _) => {
                     self.line += 1;
                     self.pos += 1;
+                    self.line_start = self.pos;
                 }
                 (Some(_), _) => self.pos += 1,
                 (None, _) => return, // unterminated: tolerate
@@ -251,6 +277,7 @@ impl Lexer {
                 '\n' => {
                     self.line += 1;
                     self.pos += 1;
+                    self.line_start = self.pos;
                 }
                 _ => self.pos += 1,
             }
@@ -316,6 +343,7 @@ impl Lexer {
             if c == '\n' {
                 self.line += 1;
                 self.pos += 1;
+                self.line_start = self.pos;
                 continue;
             }
             if c == '"' {
@@ -406,7 +434,7 @@ impl Lexer {
         }
         let text: String = self.chars[start..self.pos].iter().collect();
         let kind = if is_float { TokenKind::Float } else { TokenKind::Int };
-        self.push(kind, text);
+        self.push_at(kind, text, start);
     }
 
     fn ident(&mut self) {
@@ -415,7 +443,7 @@ impl Lexer {
             self.pos += 1;
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        self.push(TokenKind::Ident, text);
+        self.push_at(TokenKind::Ident, text, start);
     }
 }
 

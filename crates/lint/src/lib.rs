@@ -41,8 +41,10 @@
 
 #![warn(missing_docs)]
 
+mod absint;
 pub mod graph;
 pub mod interproc;
+pub mod intervals;
 pub mod lexer;
 pub mod parse;
 pub mod rules;
@@ -106,11 +108,83 @@ pub fn lint_sources(sources: &[(String, String)]) -> Report {
     }
     let graph = graph::CallGraph::build(&files);
     findings.extend(interproc::check(&files, &graph, &mut usage));
+    findings.extend(absint::check(&files, &graph, &mut usage));
     findings.extend(interproc::check_unused(&files, &usage));
 
     findings
         .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    assign_finding_ids(&files, &mut findings);
     Report { findings, files_scanned: files.len() }
+}
+
+/// Assigns every finding its stable identity
+/// `rule:crate:fn-path:snippet-hash[#n]`: the enclosing function
+/// (innermost, by line), the finding line's token text hashed with
+/// FNV-1a, and a `#n` counter for exact duplicates. Baselines diff on
+/// this id, so entries survive line shifts from unrelated edits;
+/// renaming the function or editing the flagged line retires the
+/// entry, which is the desired freshness forcing-function.
+pub fn assign_finding_ids(files: &[SourceFile], findings: &mut [Finding]) {
+    let by_path: std::collections::BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.path.as_str(), f)).collect();
+    let mut seen: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+    for finding in findings.iter_mut() {
+        let file = by_path.get(finding.path.as_str()).copied();
+        let krate = rules::crate_of(&finding.path).unwrap_or("workspace");
+        let fn_path = file.and_then(|f| enclosing_fn(f, finding.line)).unwrap_or_else(|| {
+            let stem = finding.path.rsplit('/').next().unwrap_or(&finding.path);
+            stem.trim_end_matches(".rs").to_string()
+        });
+        let snippet: String = match file {
+            Some(f) => f
+                .lexed
+                .tokens
+                .iter()
+                .filter(|t| t.line == finding.line)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" "),
+            None => String::new(),
+        };
+        let base = format!("{}:{}:{}:{:08x}", finding.rule, krate, fn_path, fnv1a(&snippet));
+        let n = seen.entry(base.clone()).or_insert(0);
+        finding.id = if *n == 0 { base } else { format!("{base}#{n}") };
+        *n += 1;
+    }
+}
+
+/// The innermost function whose body covers `line`, rendered as
+/// `Type::name` / `name`.
+fn enclosing_fn(file: &SourceFile, line: u32) -> Option<String> {
+    let toks = &file.lexed.tokens;
+    let mut best: Option<(u32, &parse::FnItem)> = None;
+    for item in &file.parsed.fns {
+        let Some((open, close)) = item.body else { continue };
+        let (Some(start), Some(end)) = (toks.get(open), toks.get(close)) else { continue };
+        if item.line.min(start.line) <= line && line <= end.line {
+            // Innermost = latest-starting span that still covers.
+            if best.is_none_or(|(l, _)| item.line >= l) {
+                best = Some((item.line, item));
+            }
+        }
+    }
+    best.map(|(_, item)| match &item.self_type {
+        Some(t) => format!("{t}::{}", item.name),
+        None => item.name.clone(),
+    })
+}
+
+/// 64-bit FNV-1a over the snippet text (stable across platforms; no
+/// dependency on `std::hash` internals).
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Fold to 32 bits for readable ids; collisions only matter within
+    // one (rule, crate, fn) bucket, where a handful of lines live.
+    (hash >> 32) ^ (hash & 0xffff_ffff)
 }
 
 /// Lints a single source string as if it lived at `rel_path`

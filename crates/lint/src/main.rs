@@ -77,7 +77,8 @@ fn json_escape(s: &str) -> String {
 
 fn finding_json(f: &Finding) -> String {
     format!(
-        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+        "{{\"schema\":2,\"id\":\"{}\",\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+        json_escape(&f.id),
         f.rule,
         json_escape(&f.path),
         f.line,
@@ -85,12 +86,21 @@ fn finding_json(f: &Finding) -> String {
     )
 }
 
-/// Reads a JSON-lines baseline into a set of verbatim lines. The
-/// comparison is on the serialized form — a finding whose path, line,
-/// rule, or message changed is a *new* finding. A missing file is an
-/// empty baseline; a file with lines that are not finding records is
-/// a malformed artifact and a hard error (exit 2), not an empty one —
-/// silently matching nothing would report every finding as new.
+/// Extracts the `"id"` value from one serialized finding record.
+fn record_id(line: &str) -> Option<&str> {
+    let rest = line.split_once("\"id\":\"")?.1;
+    rest.split_once('"').map(|(id, _)| id)
+}
+
+/// Reads a JSON-lines baseline into the set of finding ids it names
+/// (schema 2: `rule:crate:fn-path:snippet-hash[#n]`). Matching on ids
+/// instead of serialized records means a baselined finding survives
+/// line renumbering and message-wording tweaks, but retires when the
+/// flagged line or its enclosing function changes. A missing file is
+/// an empty baseline; a file with lines that are not schema-2 finding
+/// records is a malformed artifact and a hard error (exit 2), not an
+/// empty one — silently matching nothing would report every finding
+/// as new.
 fn read_baseline(path: &PathBuf) -> Result<BTreeSet<String>, String> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -103,16 +113,35 @@ fn read_baseline(path: &PathBuf) -> Result<BTreeSet<String>, String> {
         if line.is_empty() {
             continue;
         }
-        if !(line.starts_with('{') && line.ends_with('}') && line.contains("\"rule\":")) {
-            return Err(format!(
-                "malformed baseline {}: line {} is not a finding record",
-                path.display(),
-                idx + 1
-            ));
+        let id = if line.starts_with('{') && line.ends_with('}') && line.contains("\"rule\":") {
+            record_id(line)
+        } else {
+            None
+        };
+        match id {
+            Some(id) => {
+                baseline.insert(id.to_string());
+            }
+            None => {
+                return Err(format!(
+                    "malformed baseline {}: line {} is not a schema-2 finding record \
+                     (regenerate with --write-baseline)",
+                    path.display(),
+                    idx + 1
+                ))
+            }
         }
-        baseline.insert(line.to_string());
     }
     Ok(baseline)
+}
+
+/// `"3 A2, 1 U1"`-style per-rule tally for the summary line.
+fn rule_counts(findings: &[&Finding]) -> String {
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    counts.iter().map(|(rule, n)| format!("{n} {rule}")).collect::<Vec<_>>().join(", ")
 }
 
 fn main() -> ExitCode {
@@ -166,7 +195,7 @@ fn main() -> ExitCode {
         }
     };
     let (new, known): (Vec<&Finding>, Vec<&Finding>) =
-        report.findings.iter().partition(|f| !baseline.contains(&finding_json(f)));
+        report.findings.iter().partition(|f| !baseline.contains(&f.id));
 
     if options.json {
         for finding in &new {
@@ -177,9 +206,11 @@ fn main() -> ExitCode {
             println!("{}:{} [{}] {}", finding.path, finding.line, finding.rule, finding.message);
         }
     }
+    let by_rule = rule_counts(&new);
     eprintln!(
-        "fusion3d-lint: {} new finding(s), {} baselined, across {} file(s)",
+        "fusion3d-lint: {} new finding(s){}, {} baselined, across {} file(s)",
         new.len(),
+        if by_rule.is_empty() { String::new() } else { format!(" ({by_rule})") },
         known.len(),
         report.files_scanned
     );

@@ -60,6 +60,38 @@ pub struct FnItem {
     /// Token range of the body `{ … }`, inclusive of both braces.
     /// `None` for body-less declarations (trait methods, extern fns).
     pub body: Option<(usize, usize)>,
+    /// Last path segment of the declared return type (`u64` for
+    /// `-> u64`, `Interval` for `-> Option<Interval>` — the abstract
+    /// interpreter only consumes primitive segments), `None` for `()`.
+    pub ret_type: Option<String>,
+}
+
+/// One `const NAME: Ty = …;` item (module-level or associated).
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    /// The constant's name (`FIEM_MAX_INT`).
+    pub name: String,
+    /// Last path segment of the declared type (`i32`, `u64`).
+    pub ty: Option<String>,
+    /// Token range of the initialiser expression, `[start, end)` —
+    /// the tokens between `=` and the terminating `;`.
+    pub init: (usize, usize),
+    /// 1-based line of the `const` keyword.
+    pub line: u32,
+}
+
+/// One struct field, flattened out of a `struct` item. Tuple-struct
+/// fields are named by position (`"0"`, `"1"`, …).
+#[derive(Debug, Clone)]
+pub struct StructField {
+    /// The struct's name.
+    pub struct_name: String,
+    /// The field name (or tuple index as a string).
+    pub field: String,
+    /// First path segment of the field type (`Vec` for `Vec<i8>`).
+    pub ty_base: String,
+    /// Last path segment of the field type (`i8` for `Vec<i8>`).
+    pub ty_last: String,
 }
 
 /// One imported path from a `use` declaration, group-expanded. The
@@ -85,6 +117,15 @@ pub struct ParsedFile {
     /// `type X = [T; N];` alias names declared in this file; the
     /// workspace union resolves [`FnItem::alias_typed`] params.
     pub fixed_array_aliases: Vec<String>,
+    /// `const` items (module-level and associated), for constant
+    /// propagation in the abstract interpreter.
+    pub consts: Vec<ConstItem>,
+    /// Struct fields, for field-type lookup (`w.samples` on a
+    /// `FrameWorkload` parameter) in the abstract interpreter.
+    pub struct_fields: Vec<StructField>,
+    /// `type X = u32;` primitive aliases (name, primitive), so
+    /// literal type-alias widths participate in range checks.
+    pub prim_aliases: Vec<(String, String)>,
 }
 
 /// Marks every param whose type names a workspace fixed-array alias
@@ -170,8 +211,18 @@ impl<'a> Parser<'a> {
                         i += 1;
                     }
                 }
+                // `const NAME: Ty = …;` items are recorded for constant
+                // propagation; `const fn` keeps `const` as a modifier.
+                "const" if self.is_ident(i + 1) && self.text(i + 2) == ":" => {
+                    i = self.const_item(i);
+                    pending_pub = false;
+                }
                 // Modifiers between visibility and `fn`.
                 "const" | "unsafe" | "async" | "extern" => i += 1,
+                "struct" => {
+                    i = self.struct_item(i);
+                    pending_pub = false;
+                }
                 "fn" => {
                     i = self.fn_item(i, pending_pub, mods, ctx);
                     pending_pub = false;
@@ -241,10 +292,13 @@ impl<'a> Parser<'a> {
         let params_close = self.match_close(i, "(", ")");
         let (params, fixed_arrays, alias_typed) = self.param_names(i, params_close);
         // Find the body `{` (or `;` for a declaration) at depth 0 of
-        // the return type / where clause.
+        // the return type / where clause, capturing the return type's
+        // last path segment along the way.
         let mut j = params_close + 1;
         let mut depth = 0i32;
         let mut body = None;
+        let mut in_ret = false;
+        let mut ret_type = None;
         while j < self.toks.len() {
             match self.text(j) {
                 "(" | "[" => depth += 1,
@@ -255,6 +309,15 @@ impl<'a> Parser<'a> {
                     break;
                 }
                 ";" if depth == 0 => break,
+                ">" if depth == 0 && self.text(j.wrapping_sub(1)) == "-" => in_ret = true,
+                "where" if depth == 0 => in_ret = false,
+                t if in_ret
+                    && depth == 0
+                    && self.is_ident(j)
+                    && !matches!(t, "dyn" | "impl" | "mut" | "const") =>
+                {
+                    ret_type = Some(t.to_string());
+                }
                 _ => {}
             }
             j += 1;
@@ -272,6 +335,7 @@ impl<'a> Parser<'a> {
             fixed_arrays,
             alias_typed,
             body,
+            ret_type,
         });
         if let Some((open, close)) = body {
             // Nested fn items (helpers declared inside a body) become
@@ -358,6 +422,150 @@ impl<'a> Parser<'a> {
         (names, fixed, alias_typed)
     }
 
+    /// Parses `const NAME: Ty = init;` starting at `const`; records the
+    /// item (name, declared-type last segment, initialiser token span)
+    /// and returns the index one past the terminating `;`.
+    fn const_item(&mut self, at: usize) -> usize {
+        let name = self.text(at + 1).to_string();
+        let line = self.toks[at].line;
+        let mut ty = None;
+        let mut depth = 0i32;
+        let mut i = at + 3;
+        let mut eq = None;
+        while i < self.toks.len() {
+            match self.text(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=" if depth == 0 => {
+                    eq = Some(i);
+                    break;
+                }
+                ";" if depth == 0 => break, // `const X: Ty;` (trait decl)
+                t if depth == 0 && self.is_ident(i) => ty = Some(t.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(eq) = eq else { return i + 1 };
+        let mut j = eq + 1;
+        let mut depth = 0i32;
+        while j < self.toks.len() {
+            match self.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        self.out.consts.push(ConstItem { name, ty, init: (eq + 1, j), line });
+        j + 1
+    }
+
+    /// Parses `struct Name { … }` / `struct Name(…);` / `struct Name;`
+    /// starting at `struct`, flattening the fields into
+    /// [`ParsedFile::struct_fields`]; returns the index one past it.
+    fn struct_item(&mut self, at: usize) -> usize {
+        if !self.is_ident(at + 1) {
+            return at + 1;
+        }
+        let name = self.text(at + 1).to_string();
+        let mut i = at + 2;
+        if self.text(i) == "<" {
+            i = self.match_angles(i) + 1;
+        }
+        // Skip a where clause before the body, if any.
+        while i < self.toks.len() && !matches!(self.text(i), "{" | "(" | ";") {
+            i += 1;
+        }
+        match self.text(i) {
+            "{" => {
+                let close = self.match_close(i, "{", "}");
+                self.record_fields(&name, i + 1, close, false);
+                close + 1
+            }
+            "(" => {
+                let close = self.match_close(i, "(", ")");
+                self.record_fields(&name, i + 1, close, true);
+                // Tuple struct: consume through the trailing `;`.
+                let mut j = close + 1;
+                while j < self.toks.len() && self.text(j) != ";" {
+                    j += 1;
+                }
+                j + 1
+            }
+            _ => i + 1,
+        }
+    }
+
+    /// Records the fields in a struct body span `[lo, hi)`. Named
+    /// fields are `ident :` pairs at depth 0; tuple fields are the
+    /// comma-separated type segments, named by position. The recorded
+    /// type is its (first, last) path-segment pair — enough to
+    /// recognise both `u64` and the element type of `Vec<i8>`.
+    fn record_fields(&mut self, struct_name: &str, lo: usize, hi: usize, tuple: bool) {
+        let mut field: Option<String> = None;
+        let mut ty: Vec<String> = Vec::new();
+        let mut tuple_idx = 0usize;
+        let mut depth = 0i32;
+        let mut angles = 0i32;
+        let mut i = lo;
+        let flush =
+            |field: &mut Option<String>, ty: &mut Vec<String>, out: &mut Vec<StructField>| {
+                if let (Some(f), false) = (field.take(), ty.is_empty()) {
+                    out.push(StructField {
+                        struct_name: struct_name.to_string(),
+                        field: f,
+                        ty_base: ty[0].clone(),
+                        ty_last: ty[ty.len() - 1].clone(),
+                    });
+                }
+                ty.clear();
+            };
+        if tuple {
+            field = Some("0".to_string());
+        }
+        while i < hi {
+            match self.text(i) {
+                "#" if self.text(i + 1) == "[" => {
+                    i = self.match_close(i + 1, "[", "]") + 1;
+                    continue;
+                }
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "<" => angles += 1,
+                ">" => angles -= 1,
+                "," if depth == 0 && angles == 0 => {
+                    flush(&mut field, &mut ty, &mut self.out.struct_fields);
+                    if tuple {
+                        tuple_idx += 1;
+                        field = Some(tuple_idx.to_string());
+                    }
+                }
+                ":" if !tuple
+                    && depth == 0
+                    && angles == 0
+                    && self.text(i + 1) != ":"
+                    && self.text(i.wrapping_sub(1)) != ":"
+                    && i > lo
+                    && self.is_ident(i - 1) =>
+                {
+                    field = Some(self.text(i - 1).to_string());
+                    ty.clear();
+                }
+                t if self.is_ident(i)
+                    && !matches!(t, "pub" | "crate" | "dyn" | "mut")
+                    && (field.is_some() || tuple) =>
+                {
+                    ty.push(t.to_string());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        flush(&mut field, &mut ty, &mut self.out.struct_fields);
+    }
+
     /// Parses `impl<…> [Trait for] Type { … }`; returns one past it.
     fn impl_item(&mut self, at: usize, mods: &mut Vec<String>) -> usize {
         let mut i = at + 1;
@@ -441,6 +649,9 @@ impl<'a> Parser<'a> {
         let name = if self.is_ident(at + 1) { Some(self.text(at + 1).to_string()) } else { None };
         let mut depth = 0i32;
         let mut is_array = false;
+        let mut rhs_idents = 0usize;
+        let mut rhs_last = None;
+        let mut saw_eq = false;
         let mut i = at + 1;
         while i < self.toks.len() {
             match self.text(i) {
@@ -448,12 +659,22 @@ impl<'a> Parser<'a> {
                 ")" | "]" | "}" => depth -= 1,
                 ";" if depth == 0 => break,
                 ";" => is_array = true,
+                "=" if depth == 0 => saw_eq = true,
+                t if saw_eq && self.is_ident(i) => {
+                    rhs_idents += 1;
+                    rhs_last = Some(t.to_string());
+                }
                 _ => {}
             }
             i += 1;
         }
-        if let (Some(name), true) = (name, is_array) {
-            self.out.fixed_array_aliases.push(name);
+        if let Some(name) = name {
+            if is_array {
+                self.out.fixed_array_aliases.push(name);
+            } else if let (1, Some(prim)) = (rhs_idents, rhs_last) {
+                // `type SampleCount = u64;` — a literal width alias.
+                self.out.prim_aliases.push((name, prim));
+            }
         }
         i + 1
     }

@@ -56,6 +56,11 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Stable identity: `rule:crate:fn-path:snippet-hash[#n]`,
+    /// assigned once per report by [`crate::assign_finding_ids`].
+    /// Baselines key on this, so entries survive unrelated line
+    /// shifts (schema 2 of the JSONL output).
+    pub id: String,
 }
 
 /// Crates whose outputs feed reported results: hash-container
@@ -65,8 +70,9 @@ pub(crate) const RESULT_BEARING_CRATES: &[&str] =
     &["nerf", "core", "mem", "multichip", "arith", "par", "obs"];
 
 /// Accounting modules where lossy casts silently corrupt cycle and
-/// energy totals (A1).
-const ACCOUNTING_FILES: &[&str] = &[
+/// energy totals (A1); the A3 unit-consistency dataflow shares this
+/// scope.
+pub(crate) const ACCOUNTING_FILES: &[&str] = &[
     "crates/core/src/energy.rs",
     "crates/core/src/bandwidth.rs",
     "crates/core/src/pipeline_sim.rs",
@@ -155,7 +161,9 @@ pub fn check_file(path: &str, file: &LexedFile, usage: &mut AllowUsage) -> Vec<F
         Some(directive_line) => {
             usage.borrow_mut().insert((directive_line, rule.to_ascii_lowercase()));
         }
-        None => out.push(Finding { rule, path: path.to_string(), line, message }),
+        None => {
+            out.push(Finding { rule, path: path.to_string(), line, message, id: String::new() })
+        }
     };
 
     for (i, tok) in tokens.iter().enumerate() {

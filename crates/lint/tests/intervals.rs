@@ -1,0 +1,319 @@
+//! Exhaustive small-domain soundness tests for the interval lattice.
+//!
+//! Every abstract transfer function must over-approximate its concrete
+//! counterpart: for all `x ∈ A`, `y ∈ B`, the concrete `x ⊕ y` must be
+//! contained in `A ⊕ B`. Rather than sampling, these tests enumerate
+//! the *entire* lattice over a dense 4-bit value grid (`[-8, 7]` — all
+//! 136 non-empty intervals plus ⊥) and check every concrete member
+//! pair. Any unsound corner in a transfer function (a swapped bound, a
+//! missed sign case, a wrong corner product) shows up as a concrete
+//! counterexample in the assertion message.
+//!
+//! The lattice-algebra tests (join/meet laws, widening termination)
+//! are what the abstract interpreter's fixpoint loop relies on: joins
+//! must be commutative least upper bounds, and any ascending chain
+//! interleaved with widening must stabilise in a bounded number of
+//! steps.
+
+use fusion3d_lint::intervals::{type_bits, type_range, Interval};
+
+/// Grid rails: a 4-bit signed domain.
+const G_LO: i128 = -8;
+const G_HI: i128 = 7;
+
+/// Every interval over the grid, plus ⊥ and ⊤ (the rails matter for
+/// saturation paths).
+fn lattice() -> Vec<Interval> {
+    let mut out = vec![Interval::Bottom, Interval::TOP];
+    for lo in G_LO..=G_HI {
+        for hi in lo..=G_HI {
+            out.push(Interval::new(lo, hi));
+        }
+    }
+    out
+}
+
+/// The concrete members of `iv` that lie on the grid (⊤ contributes
+/// the whole grid; ⊥ contributes nothing).
+fn members(iv: Interval) -> Vec<i128> {
+    match iv.bounds() {
+        None => Vec::new(),
+        Some((lo, hi)) => (lo.max(G_LO)..=hi.min(G_HI)).collect(),
+    }
+}
+
+/// Checks `concrete(x, y) ∈ abstract(A, B)` for every `A`, `B` in the
+/// lattice and every grid member pair. `concrete` returns `None` for
+/// undefined concrete operations (division by zero, negative shift
+/// amounts), which the abstract result need not cover.
+fn assert_binary_sound(
+    name: &str,
+    abstract_op: impl Fn(Interval, Interval) -> Interval,
+    concrete: impl Fn(i128, i128) -> Option<i128>,
+) {
+    let lattice = lattice();
+    for &a in &lattice {
+        for &b in &lattice {
+            let r = abstract_op(a, b);
+            for &x in &members(a) {
+                for &y in &members(b) {
+                    if let Some(z) = concrete(x, y) {
+                        assert!(
+                            r.contains(z),
+                            "{name}: concrete {x} ⊕ {y} = {z} escapes {r:?} \
+                             (operands {a:?}, {b:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn assert_unary_sound(
+    name: &str,
+    abstract_op: impl Fn(Interval) -> Interval,
+    concrete: impl Fn(i128) -> i128,
+) {
+    for &a in &lattice() {
+        let r = abstract_op(a);
+        for &x in &members(a) {
+            let z = concrete(x);
+            assert!(r.contains(z), "{name}: concrete op({x}) = {z} escapes {r:?} (operand {a:?})");
+        }
+    }
+}
+
+// ------------------------------------------------ transfer functions
+
+#[test]
+fn add_sub_mul_are_sound() {
+    assert_binary_sound("add", Interval::add, |x, y| Some(x + y));
+    assert_binary_sound("sub", Interval::sub, |x, y| Some(x - y));
+    assert_binary_sound("mul", Interval::mul, |x, y| Some(x * y));
+}
+
+#[test]
+fn neg_and_abs_are_sound() {
+    assert_unary_sound("neg", Interval::neg, |x| -x);
+    assert_unary_sound("abs", Interval::abs, |x| x.abs());
+}
+
+#[test]
+fn div_and_rem_are_sound() {
+    assert_binary_sound("div", Interval::div, |x, y| if y == 0 { None } else { Some(x / y) });
+    assert_binary_sound("rem", Interval::rem, |x, y| if y == 0 { None } else { Some(x % y) });
+}
+
+#[test]
+fn shifts_are_sound() {
+    // Negative shift amounts are not valid Rust; the abstract operator
+    // may return anything for them, so they are excluded concretely.
+    assert_binary_sound("shl", Interval::shl, |x, y| {
+        (0..=127).contains(&y).then(|| x << y.min(120))
+    });
+    assert_binary_sound("shr", Interval::shr, |x, y| {
+        (0..=127).contains(&y).then(|| x >> y.min(120))
+    });
+}
+
+#[test]
+fn bitops_are_sound() {
+    assert_binary_sound("bitand", Interval::bitand, |x, y| Some(x & y));
+    assert_binary_sound("bitor", Interval::bitor, |x, y| Some(x | y));
+}
+
+#[test]
+fn min_max_are_sound() {
+    assert_binary_sound("min", Interval::min_, |x, y| Some(x.min(y)));
+    assert_binary_sound("max", Interval::max_, |x, y| Some(x.max(y)));
+}
+
+#[test]
+fn clamp_is_sound() {
+    // Ternary: enumerate a coarser sub-lattice to keep the product
+    // tractable, but still cover crossing, nested, and degenerate
+    // bound layouts.
+    let coarse: Vec<Interval> = vec![
+        Interval::Bottom,
+        Interval::TOP,
+        Interval::new(G_LO, G_HI),
+        Interval::new(-8, -3),
+        Interval::new(-4, 2),
+        Interval::new(-1, 1),
+        Interval::new(0, 0),
+        Interval::new(0, 7),
+        Interval::new(3, 5),
+        Interval::new(7, 7),
+    ];
+    for &a in &coarse {
+        for &b in &coarse {
+            for &c in &coarse {
+                let r = a.clamp_to(b, c);
+                for &x in &members(a) {
+                    for &lo in &members(b) {
+                        for &hi in &members(c) {
+                            if lo > hi {
+                                continue; // concrete clamp would panic
+                            }
+                            let z = x.clamp(lo, hi);
+                            assert!(
+                                r.contains(z),
+                                "clamp: {x}.clamp({lo}, {hi}) = {z} escapes {r:?} \
+                                 ({a:?}.clamp_to({b:?}, {c:?}))"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn saturate_is_sound_and_exact_for_constant_rails() {
+    // `saturate_to` models clamping to the *constant* rails of
+    // `range`, so concrete members of `range` other than its exact
+    // bounds are not inputs — only `(range.lo, range.hi)` is.
+    for &a in &lattice() {
+        for &r in &lattice() {
+            let out = a.saturate_to(r);
+            let Some((rlo, rhi)) = r.bounds() else {
+                assert!(out.is_bottom());
+                continue;
+            };
+            for &x in &members(a) {
+                let z = x.clamp(rlo, rhi);
+                assert!(out.contains(z), "saturate: {x}.clamp({rlo}, {rhi}) = {z} escapes {out:?}");
+            }
+            // Exactness: saturating never widens past the rails, and
+            // an interval already inside the rails is unchanged.
+            if let Some((olo, ohi)) = out.bounds() {
+                assert!(rlo <= olo && ohi <= rhi);
+            }
+            if a.subset_of(r) && !a.is_bottom() {
+                assert_eq!(out, a, "in-range interval must pass through saturate unchanged");
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------ lattice laws
+
+#[test]
+fn join_is_a_commutative_least_upper_bound() {
+    let lattice = lattice();
+    for &a in &lattice {
+        for &b in &lattice {
+            let j = a.join(b);
+            assert_eq!(j, b.join(a), "join must be commutative: {a:?}, {b:?}");
+            assert!(a.subset_of(j) && b.subset_of(j), "join must cover both: {a:?}, {b:?}");
+            // Least: no interval strictly inside `j` covers both.
+            for &x in &members(a) {
+                assert!(j.contains(x));
+            }
+            for &c in &lattice {
+                if a.subset_of(c) && b.subset_of(c) {
+                    assert!(j.subset_of(c), "join must be the LEAST upper bound: {a:?}, {b:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn join_is_idempotent_and_bottom_is_identity() {
+    for &a in &lattice() {
+        assert_eq!(a.join(a), a);
+        assert_eq!(a.join(Interval::Bottom), a);
+        assert_eq!(Interval::Bottom.join(a), a);
+        assert_eq!(a.join(Interval::TOP), Interval::TOP);
+    }
+}
+
+#[test]
+fn meet_is_exact_intersection_on_the_grid() {
+    let lattice = lattice();
+    for &a in &lattice {
+        for &b in &lattice {
+            let m = a.meet(b);
+            assert_eq!(m, b.meet(a), "meet must be commutative");
+            for x in G_LO..=G_HI {
+                assert_eq!(
+                    m.contains(x),
+                    a.contains(x) && b.contains(x),
+                    "meet must be the exact intersection at {x}: {a:?}, {b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn widening_covers_the_join_and_terminates() {
+    // Jump-to-rail widening moves each bound at most once (straight to
+    // its rail), so any ascending chain interleaved with widening
+    // changes the iterate at most three times: once leaving ⊥, then
+    // once per bound. Enumerate chains of three arbitrary successor
+    // values over a bounds sub-lattice.
+    let chain_domain: Vec<Interval> = {
+        let bounds = [-8i128, -1, 0, 1, 7];
+        let mut out = vec![Interval::Bottom, Interval::TOP];
+        for &lo in &bounds {
+            for &hi in &bounds {
+                if lo <= hi {
+                    out.push(Interval::new(lo, hi));
+                }
+            }
+        }
+        out
+    };
+    for &a in &chain_domain {
+        for &b in &chain_domain {
+            let w = a.widen(b);
+            assert!(a.join(b).subset_of(w), "widening must cover the join: {a:?} ∇ {b:?} = {w:?}");
+        }
+    }
+    for &a in &chain_domain {
+        for &s1 in &chain_domain {
+            for &s2 in &chain_domain {
+                for &s3 in &chain_domain {
+                    let mut x = a;
+                    let mut changes = 0;
+                    for next in [s1, s2, s3] {
+                        let stepped = x.widen(x.join(next));
+                        if stepped != x {
+                            changes += 1;
+                        }
+                        x = stepped;
+                    }
+                    assert!(
+                        changes <= 3,
+                        "widening chain from {a:?} via {s1:?},{s2:?},{s3:?} \
+                         changed {changes} times (> 3 ⇒ non-terminating fixpoint)"
+                    );
+                    // One more step from the stabilised iterate must be
+                    // a no-op for anything already covered.
+                    assert_eq!(x.widen(x), x);
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- type data
+
+#[test]
+fn type_ranges_match_rust_primitives() {
+    assert_eq!(type_range("i8"), Some(Interval::new(i8::MIN as i128, i8::MAX as i128)));
+    assert_eq!(type_range("u8"), Some(Interval::new(0, u8::MAX as i128)));
+    assert_eq!(type_range("i32"), Some(Interval::new(i32::MIN as i128, i32::MAX as i128)));
+    assert_eq!(type_range("u64"), Some(Interval::new(0, u64::MAX as i128)));
+    assert_eq!(type_range("usize"), type_range("u64"), "usize is modelled as 64-bit");
+    assert_eq!(type_range("f32"), None);
+    assert_eq!(type_bits("u16"), Some(16));
+    assert_eq!(type_bits("Vec"), None);
+    // u128 truncates to the i128 rail — wider than any concrete u128
+    // check needs, never narrower than i128 arithmetic supports.
+    assert_eq!(type_range("u128"), Some(Interval::new(0, i128::MAX)));
+}

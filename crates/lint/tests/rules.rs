@@ -622,3 +622,181 @@ fn u1_exempts_declared_prophylactic_suppressions_and_docs() {
         "doc comments never register directives"
     );
 }
+
+// ------------------------------------------------------- A2 (absint)
+
+#[test]
+fn a2_flags_unproven_arithmetic_in_accounting_files() {
+    // Full-range u32 operands: the interval analysis cannot bound the
+    // product below u32::MAX, so the overflow proof fails.
+    let mul = "pub fn area(w: u32, h: u32) -> u32 { w * h }\n";
+    assert_eq!(rules_at("crates/mem/src/sram.rs", mul), vec!["A2"]);
+
+    let add = "pub fn total(a: u16, b: u16) -> u16 { a + b }\n";
+    assert_eq!(rules_at("crates/mem/src/sram.rs", add), vec!["A2"]);
+
+    let shift = "pub fn scaled(bits: u32) -> u32 { 1u32 << bits }\n";
+    assert_eq!(rules_at("crates/mem/src/sram.rs", shift), vec!["A2"]);
+}
+
+#[test]
+fn a2_ignores_out_of_scope_files_and_wide_totals() {
+    let mul = "pub fn area(w: u32, h: u32) -> u32 { w * h }\n";
+    assert!(rules_at("crates/nerf/src/render.rs", mul).is_empty(), "file is not under A2");
+
+    // `+` on 64-bit totals carries deliberate headroom and is exempt.
+    let wide = "pub fn total(a: u64, b: u64) -> u64 { a + b }\n";
+    assert!(rules_at("crates/mem/src/sram.rs", wide).is_empty());
+}
+
+#[test]
+fn a2_accepts_debug_assert_refined_operands() {
+    // The same unprovable multiply, made provable by a precondition:
+    // the analyzer narrows both operands through the assert before it
+    // reaches the `*`.
+    let asserted = "pub fn area(w: u32, h: u32) -> u32 {\n\
+                    debug_assert!(w <= 4096 && h <= 4096, \"tile-sized\");\n\
+                    w * h\n\
+                    }\n";
+    assert!(rules_at("crates/mem/src/sram.rs", asserted).is_empty());
+}
+
+#[test]
+fn a2_accepts_clamp_and_min_refinements() {
+    let clamped = "pub fn area(w: u32, h: u32) -> u32 { w.min(4096) * h.clamp(0, 4096) }\n";
+    assert!(rules_at("crates/mem/src/sram.rs", clamped).is_empty());
+
+    let branched = "pub fn halved(n: u32) -> u32 { if n < 1 << 16 { n * 2 } else { n } }\n";
+    assert!(rules_at("crates/mem/src/sram.rs", branched).is_empty());
+}
+
+#[test]
+fn a2_allow_comment_suppresses() {
+    let src = "pub fn area(w: u32, h: u32) -> u32 {\n\
+               // lint: allow(a2): caller guarantees tile-sized inputs\n\
+               w * h\n\
+               }\n";
+    assert!(rules_at("crates/mem/src/sram.rs", src).is_empty());
+}
+
+#[test]
+fn a2_proofs_depend_on_the_debug_assert_preconditions() {
+    // The real INT8 MLP must be clean as shipped, and the overflow
+    // proof for its MAC accumulator must genuinely hinge on the
+    // layer-width debug_assert!: strip that one statement and the A2
+    // gate has to fail. This is the regression test that keeps the
+    // assert from rotting into decoration.
+    // Rules needing the full workspace call graph (H2's reachability,
+    // U1's usage accounting of those allows) are noise in single-file
+    // mode; the proof obligation under test is the A family.
+    let a_rules = |path: &str, source: &str| -> Vec<&'static str> {
+        rules_at(path, source).into_iter().filter(|r| r.starts_with('A')).collect()
+    };
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../nerf/src/mlp_int8.rs");
+    let src = std::fs::read_to_string(path).expect("mlp_int8.rs readable");
+    assert!(
+        a_rules("crates/nerf/src/mlp_int8.rs", &src).is_empty(),
+        "shipped mlp_int8.rs must prove clean"
+    );
+
+    let start = src.find("debug_assert!(").expect("forward() precondition present");
+    let end = start + src[start..].find(");").expect("assert closes") + 2;
+    let stripped = format!("{}{}", &src[..start], &src[end..]);
+    let fired = a_rules("crates/nerf/src/mlp_int8.rs", &stripped);
+    assert!(
+        fired.contains(&"A2"),
+        "deleting the MAC-width precondition must break the A2 proof, got {fired:?}"
+    );
+}
+
+// ------------------------------------------------------- A3 (absint)
+
+#[test]
+fn a3_flags_cross_unit_arithmetic() {
+    // Unit tags come from name suffixes; adding cycles to bytes is a
+    // category error no matter the integer widths.
+    let src = "pub fn mixed(total_cycles: u64, payload_bytes: u64) -> u64 {\n\
+               total_cycles + payload_bytes\n\
+               }\n";
+    assert_eq!(rules_at("crates/core/src/energy.rs", src), vec!["A3"]);
+
+    let cmp = "pub fn odd(stall_cycles: u64, energy_pj: u64) -> bool {\n\
+               stall_cycles > energy_pj\n\
+               }\n";
+    assert_eq!(rules_at("crates/core/src/energy.rs", cmp), vec!["A3"]);
+}
+
+#[test]
+fn a3_accepts_same_unit_and_scaling_arithmetic() {
+    let same = "pub fn total(busy_cycles: u64, stall_cycles: u64) -> u64 {\n\
+                busy_cycles + stall_cycles\n\
+                }\n";
+    assert!(rules_at("crates/core/src/energy.rs", same).is_empty());
+
+    // Multiplying a unit by a dimensionless count keeps the unit and
+    // is legal (the operands are bounded so A2's overflow proof goes
+    // through too — `*` is checked even at 64 bits).
+    let scaled = "pub fn repeated(frame_cycles: u64, frames: u64) -> u64 {\n\
+                  debug_assert!(frame_cycles < 1u64 << 32 && frames < 1 << 20, \"paper scale\");\n\
+                  frame_cycles * frames\n\
+                  }\n";
+    assert!(rules_at("crates/core/src/energy.rs", scaled).is_empty());
+}
+
+#[test]
+fn a3_allow_comment_suppresses() {
+    let src = "pub fn packed(total_cycles: u64, payload_bytes: u64) -> u64 {\n\
+               // lint: allow(a3): serialization packs both into one word\n\
+               total_cycles + payload_bytes\n\
+               }\n";
+    assert!(rules_at("crates/core/src/energy.rs", src).is_empty());
+}
+
+// ------------------------------------------------------- A4 (absint)
+
+#[test]
+fn a4_rederives_the_mac_width_claim() {
+    // 2^20-wide MAC: 2^20 * 127 * 128 overflows i32, so the exactness
+    // claim the constant's name advertises is false.
+    let wide = "pub const WIDE_MAC_WIDTH: usize = 1 << 20;\n";
+    let fired = rules_at("crates/nerf/src/mlp_int8.rs", wide);
+    assert!(fired.contains(&"A4"), "{fired:?}");
+
+    // 2^16 holds: 2^16 * 127 * 128 = 1_065_353_216 <= i32::MAX.
+    let ok = "pub const MAX_EXACT_MAC_WIDTH: usize = 1 << 16;\n";
+    assert!(rules_at("crates/nerf/src/mlp_int8.rs", ok).is_empty());
+}
+
+#[test]
+fn a4_rederives_the_fiem_exact_int_claim() {
+    let wide = "pub const FIEM_MAX_INT: i64 = 1 << 25;\n";
+    let fired = rules_at("crates/arith/src/fiem.rs", wide);
+    assert!(fired.contains(&"A4"), "{fired:?}");
+
+    let ok = "pub const FIEM_MAX_INT: i64 = 1 << 24;\n";
+    assert!(rules_at("crates/arith/src/fiem.rs", ok).is_empty());
+}
+
+#[test]
+fn a4_requires_proven_float_to_int8_casts() {
+    // Unbounded float straight into the INT8 code range: saturation
+    // would silently corrupt the quantized value.
+    let raw = "pub fn quantize(v: f32, scale: f32) -> i8 { (v * scale) as i8 }\n";
+    let fired = rules_at("crates/nerf/src/mlp_int8.rs", raw);
+    assert!(fired.contains(&"A4"), "{fired:?}");
+
+    // The clamp pins the interval inside the symmetric code range.
+    let clamped =
+        "pub fn quantize(v: f32, scale: f32) -> i8 { (v * scale).clamp(-127.0, 127.0) as i8 }\n";
+    assert!(rules_at("crates/nerf/src/mlp_int8.rs", clamped).is_empty());
+}
+
+#[test]
+fn a4_allow_comment_suppresses() {
+    let src = "pub fn quantize(v: f32) -> i8 {\n\
+               // lint: allow(a4): upstream activation clamp bounds v\n\
+               v as i8\n\
+               }\n";
+    assert!(rules_at("crates/nerf/src/mlp_int8.rs", src).is_empty());
+}

@@ -138,6 +138,7 @@ impl ConflictStats {
         m.counter_add(&key("conflict_cycles"), "cycles", self.conflict_cycles);
         m.gauge_set(&key("mean_cycles"), "cycles/group", self.mean_cycles());
         for (k, &count) in self.histogram.iter().enumerate() {
+            debug_assert!((0..BANKS).contains(&k), "histogram index is bank-bounded");
             m.observe_n(&key("latency"), "cycles", k as u64 + 1, count);
         }
     }
@@ -187,6 +188,7 @@ where
 pub fn group_from_addresses(addresses: [u32; 8]) -> [VertexRequest; 8] {
     let mut out = [VertexRequest { corner: 0, address: 0 }; 8];
     for (i, (&addr, slot)) in addresses.iter().zip(out.iter_mut()).enumerate() {
+        debug_assert!(i < 8, "eight corners per group");
         *slot = VertexRequest { corner: i as u8, address: addr };
     }
     out

@@ -49,6 +49,10 @@ impl AccessCounts {
 /// eight corners on every level (reads); training additionally
 /// read-modify-writes each corner on the backward pass.
 pub fn feature_memory_energy_j(samples: u64, levels: u64, bank_bytes: u64, training: bool) -> f64 {
+    // Paper-scale workloads are ≤ 10^9 samples over ≤ 32 levels; the
+    // bounds keep the gather count provably inside u64 even with the
+    // ×2 training reads (lint rule A2).
+    debug_assert!(samples <= 1u64 << 40 && levels <= 64, "workload beyond paper scale");
     let gathers = samples * levels * 8;
     let counts = if training {
         AccessCounts { reads: gathers * 2, writes: gathers }

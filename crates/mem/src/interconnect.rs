@@ -23,7 +23,12 @@ pub struct InterconnectCost {
 /// arbiter per output; traversal costs an arbitration cycle plus a
 /// mux cycle.
 pub fn crossbar(ports: u32, width_bits: u32) -> InterconnectCost {
-    assert!(ports > 0 && width_bits > 0, "interconnect dimensions must be positive");
+    // The upper bounds keep `ports² × width` provably inside u32
+    // (lint rule A2); the Stage-II fabric is 8 ports × 32 bits.
+    assert!(
+        ports > 0 && ports <= 64 && width_bits > 0 && width_bits <= 1024,
+        "interconnect dimensions must be positive and chip-scale"
+    );
     let mux_area = (ports * ports * width_bits) as f64;
     let arbiter_area = (ports * ports) as f64 * 2.0;
     InterconnectCost { area: mux_area + arbiter_area, latency_cycles: 2 }
@@ -33,7 +38,10 @@ pub fn crossbar(ports: u32, width_bits: u32) -> InterconnectCost {
 /// Area is linear in `ports × width` (buffers only) and traversal is a
 /// single cycle with no arbitration.
 pub fn one_to_one(ports: u32, width_bits: u32) -> InterconnectCost {
-    assert!(ports > 0 && width_bits > 0, "interconnect dimensions must be positive");
+    assert!(
+        ports > 0 && ports <= 64 && width_bits > 0 && width_bits <= 1024,
+        "interconnect dimensions must be positive and chip-scale"
+    );
     InterconnectCost { area: (ports * width_bits) as f64 * 0.5, latency_cycles: 1 }
 }
 

@@ -53,6 +53,7 @@ pub fn sweep_model_sizes(
     log2_sizes
         .iter()
         .map(|&l| {
+            debug_assert!(l < 64, "hash-table exponent must fit u64");
             let bytes = (1u64 << l) as f64 * levels as f64 * features as f64 * 4.0;
             io_module_area(bytes / 1024.0, chips_sram_kb)
         })

@@ -35,12 +35,29 @@ const FEATURE_BYTES: u64 = 4;
 /// Bytes per sample coordinate record crossing a stage split.
 const SAMPLE_COORD_BYTES: u64 = 20;
 
+/// Workload bounds the byte models assume, enforced as debug
+/// preconditions so the lint A2 analysis can prove every byte total
+/// fits `u64`. A paper-scale frame is ~6.4e5 rays, ~8.3e6 samples,
+/// 20-dimensional features on 4 chips — orders of magnitude inside
+/// these rails.
+const MAX_RAYS: u64 = 1 << 32;
+/// See [`MAX_RAYS`].
+const MAX_SAMPLES: u64 = 1 << 36;
+/// See [`MAX_RAYS`].
+const MAX_FEATURE_DIM: u64 = 1 << 16;
+/// See [`MAX_RAYS`].
+const MAX_CHIPS: u64 = 64;
+
 /// Chip-to-chip bytes under the conventional layer-split mapping:
 /// every sample's coordinates enter the feature chip(s) and its
 /// encoded features (and gradients, when training) cross to the MLP
 /// chip(s).
 pub fn layer_split_bytes(w: &FrameWorkload, chips: u64) -> u64 {
     assert!(chips >= 2, "layer-split needs at least two chips");
+    debug_assert!(
+        w.samples <= MAX_SAMPLES && w.feature_dim <= MAX_FEATURE_DIM && chips <= MAX_CHIPS,
+        "workload beyond the modelled scale"
+    );
     let activation = w.samples * (SAMPLE_COORD_BYTES + w.feature_dim * FEATURE_BYTES);
     let grads = if w.training { w.samples * w.feature_dim * FEATURE_BYTES } else { 0 };
     // Each inter-chip boundary carries the full activation stream;
@@ -54,6 +71,7 @@ pub fn layer_split_bytes(w: &FrameWorkload, chips: u64) -> u64 {
 /// pixel-gradient return path.
 pub fn moe_bytes(w: &FrameWorkload, chips: u64) -> u64 {
     assert!(chips >= 1, "MoE needs at least one chip");
+    debug_assert!(w.rays <= MAX_RAYS && chips <= MAX_CHIPS, "workload beyond the modelled scale");
     let broadcast = w.rays * RAY_BYTES * chips;
     let partial_sums = w.rays * (PIXEL_BYTES + 4) * chips;
     let grad_return = if w.training { w.rays * PIXEL_BYTES * chips } else { 0 };

@@ -11,6 +11,15 @@
 
 use crate::mlp::{Activation, Mlp};
 
+/// Widest layer for which the `i8 × i8 → i32` MAC accumulation is
+/// provably exact. `fusion3d-lint`'s A4 audit re-derives the claim on
+/// every run: `MAX_EXACT_MAC_WIDTH * 127 * 128 ≤ i32::MAX` (the worst
+/// per-term magnitude is `|-128| · 127` — activations are clamped to
+/// the symmetric code range but `i8` weights could in principle reach
+/// `-128`). The accelerator's layers are 22–64 wide; 2^16 leaves four
+/// orders of headroom while keeping the proof airtight.
+pub const MAX_EXACT_MAC_WIDTH: usize = 1 << 16;
+
 /// One INT8-quantized linear layer.
 #[derive(Debug, Clone)]
 struct QuantizedLayer {
@@ -41,6 +50,13 @@ impl QuantizedMlp {
             .map(|l| {
                 let (w, b) = mlp.layer_params(l);
                 let max = w.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                // Symmetric quantization: scale by `max/127` and clamp
+                // to ±127, deliberately wasting the `-128` code so the
+                // representable range is sign-symmetric. An asymmetric
+                // scheme would buy 0.4 % extra range on one side at
+                // the price of a zero-point term in every MAC; the
+                // chip's MAC array (and the A4 width audit above)
+                // assume the symmetric form.
                 let weight_scale = if max == 0.0 { 1.0 } else { max / 127.0 };
                 QuantizedLayer {
                     in_dim: dims[l],
@@ -77,10 +93,13 @@ impl QuantizedMlp {
     /// Runs inference through the integer MAC path.
     ///
     /// Per layer: activations quantize to INT8 with a dynamic
-    /// symmetric scale, the `i8 × i8` products accumulate in `i32`
-    /// (exact — no saturation is possible for layer widths below
-    /// `2^31 / 127² ≈ 133k`), and the accumulator dequantizes through
-    /// the product of the two scales before bias and activation.
+    /// symmetric scale, the `i8 × i8` products accumulate in `i32`,
+    /// and the accumulator dequantizes through the product of the two
+    /// scales before bias and activation. The accumulation is exact:
+    /// `fusion3d-lint`'s A2 interval analysis proves from the
+    /// [`MAX_EXACT_MAC_WIDTH`] preconditions below that `acc` stays
+    /// inside `i32` — deleting either `debug_assert!` makes the lint
+    /// gate fail.
     ///
     /// # Panics
     ///
@@ -91,6 +110,10 @@ impl QuantizedMlp {
         // throughput numbers come from the f32 batched kernels
         let mut x = input.to_vec();
         for layer in &self.layers {
+            debug_assert!(
+                layer.in_dim <= MAX_EXACT_MAC_WIDTH && layer.out_dim <= MAX_EXACT_MAC_WIDTH,
+                "layer wider than the proven-exact i32 MAC bound"
+            );
             // Dynamic activation quantization.
             let max = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
             let x_scale = if max == 0.0 { 1.0 } else { max / 127.0 };
@@ -104,8 +127,8 @@ impl QuantizedMlp {
             for o in 0..layer.out_dim {
                 let row = &layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
                 let mut acc: i32 = 0;
-                for (w, v) in row.iter().zip(&xq) {
-                    acc += *w as i32 * *v as i32;
+                for i in 0..layer.in_dim {
+                    acc += row[i] as i32 * xq[i] as i32;
                 }
                 let val = acc as f32 * dequant + layer.biases[o];
                 // lint: allow(h2): int8 reference path — see `x` above
@@ -178,14 +201,18 @@ mod tests {
     }
 
     #[test]
-    fn accumulator_width_suffices() {
-        // Adversarial worst case: all weights and activations at the
-        // INT8 extremes on the widest layer still fit i32.
-        let widest_in = 32i64;
-        let worst = widest_in * 127 * 127;
-        assert!(worst < i32::MAX as i64);
-        // Even a hypothetical 64k-wide layer stays inside i32.
-        assert!(65536i64 * 127 * 127 < i32::MAX as i64);
+    fn symmetric_quantization_pins_code_range() {
+        // The quantizer clamps to ±127 — the `-128` code is
+        // deliberately unrepresentable so the range is sign-symmetric
+        // (no zero-point term in the MAC). Feed weights that would
+        // saturate both rails and check no code escapes [-127, 127].
+        let mlp = trained_like_mlp(6);
+        let q = QuantizedMlp::quantize(&mlp);
+        let codes: Vec<i8> = q.layers.iter().flat_map(|l| l.weights.iter().copied()).collect();
+        assert!(!codes.is_empty());
+        assert!(codes.iter().all(|&c| (-127..=127).contains(&c)), "asymmetric code emitted");
+        // The extremal magnitude weight maps to exactly ±127.
+        assert!(codes.iter().any(|&c| c == 127 || c == -127));
     }
 
     #[test]
