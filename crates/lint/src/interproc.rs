@@ -65,6 +65,7 @@ const H2_ENTRY_NAMES: &[&str] = &[
     "render_pixel",
     "render_pixel_depth",
     "render_depth_image",
+    "render_views_into",
     "trace_frame",
     "shade_ray",
     "shade_ray_depth",
@@ -76,6 +77,15 @@ const H2_ENTRY_NAMES: &[&str] = &[
     "train_step",
     "step",
 ];
+
+/// Hot-path entry points of `fusion3d-serve` for H2: the steady-state
+/// request path — admission, batch drain, and batched render. The
+/// trace event loop (`run_trace`) and the registry miss path
+/// (`ensure_resident`) are deliberately *not* entries: a container
+/// load is the cold path by definition and may allocate while
+/// decoding.
+const SERVE_H2_ENTRY_NAMES: &[&str] =
+    &["admit", "pop_batch_into", "render_batch", "touch", "scene"];
 
 /// The deterministic dispatch combinators of `fusion3d-par`; closures
 /// passed to these run on worker threads (D4/D5 scope).
@@ -423,14 +433,15 @@ fn check_h2(
         .filter(|&n| {
             let node = &graph.nodes[n];
             let item = fn_item(files, node);
-            node.krate == "nerf"
+            (node.krate == "nerf"
                 && H2_ENTRY_NAMES.contains(&item.name.as_str())
                 // Bare `step` is a common method name; only the
                 // training loop's own impl is a hot-path entry. The
                 // outer `train` epoch loop is deliberately *not* one:
                 // model/dataset construction before the first step may
                 // allocate freely.
-                && (item.name != "step" || item.self_type.as_deref() == Some("Trainer"))
+                && (item.name != "step" || item.self_type.as_deref() == Some("Trainer")))
+                || (node.krate == "serve" && SERVE_H2_ENTRY_NAMES.contains(&item.name.as_str()))
         })
         .collect();
     let parents = graph.reachable_from(&entries);

@@ -67,7 +67,7 @@ pub struct Finding {
 /// iteration (D1) and ambient nondeterminism (D2) are banned here,
 /// and every public fn is a P2 panic-freedom entry point.
 pub(crate) const RESULT_BEARING_CRATES: &[&str] =
-    &["nerf", "core", "mem", "multichip", "arith", "par", "obs"];
+    &["nerf", "core", "mem", "multichip", "arith", "par", "obs", "serve"];
 
 /// Accounting modules where lossy casts silently corrupt cycle and
 /// energy totals (A1); the A3 unit-consistency dataflow shares this

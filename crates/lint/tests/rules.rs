@@ -488,6 +488,37 @@ fn h2_allow_comment_suppresses() {
     assert!(rules_at("crates/nerf/src/pipeline.rs", src).is_empty());
 }
 
+#[test]
+fn h2_covers_the_serve_request_path() {
+    // The admission entry and anything it reaches are hot.
+    let src = "pub fn admit(&mut self, t: Ticket) -> bool {\n\
+               self.log.push(t);\n\
+               true\n\
+               }\n";
+    assert_eq!(rules_at("crates/serve/src/queue.rs", src), vec!["H2"]);
+
+    let render = "pub fn render_batch(&mut self) {\n\
+                  let label = self.name.to_string();\n\
+                  stage(&label);\n\
+                  }\n";
+    assert_eq!(rules_at("crates/serve/src/scheduler.rs", render), vec!["H2"]);
+}
+
+#[test]
+fn h2_exempts_the_serve_cold_path() {
+    // The event loop and the registry miss path may allocate: a
+    // container decode is a load, not steady-state serving.
+    let src = "pub fn run_trace(&mut self, trace: &[Request]) -> Vec<u64> {\n\
+               let mut latencies = Vec::with_capacity(trace.len());\n\
+               latencies.push(1);\n\
+               latencies\n\
+               }\n\
+               pub fn ensure_resident(&mut self, id: u32) {\n\
+               self.eviction_log.push(id);\n\
+               }\n";
+    assert!(rules_at("crates/serve/src/registry.rs", src).is_empty());
+}
+
 // ---------------------------------------------------------------- D4
 
 #[test]

@@ -335,6 +335,70 @@ pub fn container_size<E: Encoding>(
     44 + occupancy.cell_count().div_ceil(8) + model.param_count() * precision.bytes_per_param()
 }
 
+/// The self-describing prefix of a model container, decoded without
+/// touching the parameter payload.
+///
+/// This is the serving layer's load/evict hook: a scene registry can
+/// price a container against its residency budget (and verify it
+/// matches the architecture it would be decoded into) from the first
+/// 44 bytes alone, deferring the full parameter decode until the
+/// scene is actually admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerHeader {
+    /// Container format version (currently [`VERSION`]).
+    pub version: u16,
+    /// Parameter storage precision of the payload.
+    pub precision: Precision,
+    /// Geometry-feature width recorded by the trainer.
+    pub geo_feature_dim: u32,
+    /// Stored (encoding, density MLP, color MLP) parameter counts.
+    pub param_counts: (u64, u64, u64),
+    /// Occupancy-grid resolution (cells per axis).
+    pub occupancy_resolution: u32,
+}
+
+impl ContainerHeader {
+    /// Total parameter count across the three groups.
+    pub fn param_count(&self) -> u64 {
+        let (e, d, c) = self.param_counts;
+        e.saturating_add(d).saturating_add(c)
+    }
+
+    /// Exact byte size of a well-formed container with this header —
+    /// the unit the registry's LRU byte budget is charged in.
+    pub fn container_bytes(&self) -> u64 {
+        let cells = (self.occupancy_resolution as u64).pow(3);
+        44 + cells.div_ceil(8)
+            + self.param_count().saturating_mul(self.precision.bytes_per_param() as u64)
+    }
+}
+
+/// Decodes only the fixed-size container header.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the prefix is truncated, the magic
+/// or version is wrong, or the precision tag is unknown.
+pub fn peek_header(data: &[u8]) -> Result<ContainerHeader, DecodeError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let precision = match r.take(2)?[0] {
+        0 => Precision::F32,
+        1 => Precision::F16,
+        t => return Err(DecodeError::BadPrecision(t)),
+    };
+    let geo_feature_dim = r.u32()?;
+    let param_counts = (r.u64()?, r.u64()?, r.u64()?);
+    let occupancy_resolution = r.u32()?;
+    Ok(ContainerHeader { version, precision, geo_feature_dim, param_counts, occupancy_resolution })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +447,25 @@ mod tests {
             occ2.occupied_cells().collect::<Vec<_>>(),
             occ.occupied_cells().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn peek_header_matches_container_without_decoding() {
+        let model = test_model(9);
+        let occ = test_occupancy();
+        for precision in [Precision::F32, Precision::F16] {
+            let bytes = encode_model(&model, &occ, precision);
+            let header = peek_header(&bytes).expect("header");
+            assert_eq!(header.version, VERSION);
+            assert_eq!(header.precision, precision);
+            assert_eq!(header.geo_feature_dim, 3);
+            assert_eq!(header.param_count(), model.param_count() as u64);
+            assert_eq!(header.occupancy_resolution, occ.resolution());
+            assert_eq!(header.container_bytes(), bytes.len() as u64);
+            assert_eq!(header.container_bytes() as usize, container_size(&model, &occ, precision));
+        }
+        assert_eq!(peek_header(&[0u8; 10]), Err(DecodeError::BadMagic));
+        assert_eq!(peek_header(b"F3DM"), Err(DecodeError::Truncated));
     }
 
     #[test]

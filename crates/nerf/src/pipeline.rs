@@ -142,6 +142,79 @@ pub fn render_image<E: Encoding>(
     img
 }
 
+/// Renders several cameras against one scene in a single batched
+/// dispatch — the serving layer's multi-request kernel. Every pixel
+/// row of every view becomes one work chunk, so a batch of small
+/// frames saturates the pool as well as one large frame does.
+///
+/// Pixels are written through `pixels_out` (one raster-order slice
+/// per camera, each exactly `width * height` long) and each view's
+/// retained Stage-II/III sample total lands in `samples_out` — the
+/// quantity the serving scheduler's cost model charges cycles for.
+/// Output slices shorter or longer than their camera's frame are
+/// skipped rather than partially filled. Chunk geometry and the merge
+/// order depend only on the camera list, so the result is
+/// bitwise-identical for any `FUSION3D_THREADS` setting.
+pub fn render_views_into<E: Encoding>(
+    model: &NerfModel<E>,
+    occupancy: &OccupancyGrid,
+    cameras: &[Camera],
+    config: &PipelineConfig,
+    pixels_out: &mut [&mut [Vec3]],
+    samples_out: &mut [u64],
+) {
+    debug_assert!(
+        pixels_out.len() == cameras.len() && samples_out.len() == cameras.len(),
+        "one pixel slice and one sample slot per camera"
+    );
+    let mut rows: Vec<(usize, u32)> =
+        Vec::with_capacity(cameras.iter().map(|c| c.height() as usize).sum());
+    for (view, camera) in cameras.iter().enumerate() {
+        for y in 0..camera.height() {
+            // lint: allow(h2): per-dispatch row table — one entry per
+            // pixel row, amortized over that row's rays
+            rows.push((view, y));
+        }
+    }
+    let chunks = Pool::new().parallel_chunks_with(
+        rows.len(),
+        1,
+        RayScratch::new,
+        |_, range, scratch: &mut RayScratch| {
+            let (view, y) = rows[range.start];
+            let Some(camera) = cameras.get(view) else {
+                return (view, 0u32, Vec::new(), 0u64);
+            };
+            let mut samples = 0u64;
+            let row: Vec<Vec3> = (0..camera.width())
+                .map(|x| {
+                    let ray = camera.ray_for_pixel(x, y);
+                    let p = shade_ray(model, occupancy, &ray, config, config.early_stop, scratch).0;
+                    samples += scratch.samples.len() as u64;
+                    p
+                })
+                // lint: allow(h2): per-chunk pixel buffer — see
+                // render_image
+                .collect();
+            (view, y, row, samples)
+        },
+    );
+    for slot in samples_out.iter_mut() {
+        *slot = 0;
+    }
+    for (view, y, row, samples) in &chunks {
+        let start = *y as usize * row.len();
+        if let Some(out) = pixels_out.get_mut(*view) {
+            if let Some(dst) = out.get_mut(start..start + row.len()) {
+                dst.copy_from_slice(row);
+            }
+        }
+        if let Some(slot) = samples_out.get_mut(*view) {
+            *slot += samples;
+        }
+    }
+}
+
 /// [`render_image`] with hot-path probe counters recorded into
 /// `report` (`obs` builds only). Identical pixels to [`render_image`]:
 /// the probes never influence the compute. Each chunk's counter delta
@@ -389,6 +462,35 @@ mod tests {
             &PipelineConfig { early_stop: true, ..Default::default() },
         );
         assert!(exact.psnr(&eager) > 40.0, "psnr {}", exact.psnr(&eager));
+    }
+
+    #[test]
+    fn render_views_matches_per_view_render_image() {
+        let model = tiny_model();
+        let mut occ = OccupancyGrid::new(8, 0.0);
+        occ.fill();
+        let cfg = PipelineConfig::default();
+        let poses = orbit_poses(Vec3::splat(0.5), 1.2, 3);
+        let cameras: Vec<Camera> = poses.iter().map(|&p| Camera::new(p, 8, 6, 0.8)).collect();
+        let mut frames: Vec<Vec<Vec3>> = cameras.iter().map(|_| vec![Vec3::ZERO; 48]).collect();
+        let mut samples = vec![0u64; cameras.len()];
+        {
+            let mut slices: Vec<&mut [Vec3]> =
+                frames.iter_mut().map(|f| f.as_mut_slice()).collect();
+            render_views_into(&model, &occ, &cameras, &cfg, &mut slices, &mut samples);
+        }
+        for (i, camera) in cameras.iter().enumerate() {
+            let solo = render_image(&model, &occ, camera, &cfg);
+            assert_eq!(frames[i].as_slice(), solo.pixels(), "view {i} pixels diverge");
+            assert!(samples[i] > 0, "view {i} retained no samples");
+        }
+    }
+
+    #[test]
+    fn render_views_handles_empty_batch() {
+        let model = tiny_model();
+        let occ = OccupancyGrid::new(8, 0.0);
+        render_views_into(&model, &occ, &[], &PipelineConfig::default(), &mut [], &mut []);
     }
 
     #[test]

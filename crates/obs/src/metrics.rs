@@ -69,6 +69,32 @@ impl Histogram {
         }
     }
 
+    /// Upper bound of the log2 bucket holding the nearest-rank
+    /// quantile `q` in `[0, 1]`: the tightest value `v` such that at
+    /// least a `q` fraction of samples are `<= v`, given only the
+    /// bucketed distribution (clamped to the exact recorded `max`).
+    /// Returns 0 for an empty histogram. Deterministic, like the
+    /// buckets it reads.
+    pub fn percentile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                if b == 0 {
+                    return 0;
+                }
+                // Bucket b spans [2^(b-1), 2^b - 1].
+                let upper = (1u128 << b) - 1;
+                return upper.min(self.max as u128) as u64;
+            }
+        }
+        self.max
+    }
+
     /// Fold another histogram into this one (elementwise bucket add).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -238,6 +264,31 @@ mod tests {
         assert_eq!(Histogram::bucket_of(3), 2);
         assert_eq!(Histogram::bucket_of(4), 3);
         assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentile_upper_bound_brackets_the_distribution() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile_upper_bound(0.99), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Median rank 50 lands in bucket 6 ([32, 63]); p99 rank 99 in
+        // bucket 7, clamped to the recorded max of 100.
+        assert_eq!(h.percentile_upper_bound(0.5), 63);
+        assert_eq!(h.percentile_upper_bound(0.99), 100);
+        assert_eq!(h.percentile_upper_bound(0.0), 1);
+        // Every quantile bound is sound: at least that fraction of
+        // samples really is <= the bound.
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let bound = h.percentile_upper_bound(q);
+            let covered = (1..=100u64).filter(|&v| v <= bound).count() as f64 / 100.0;
+            assert!(covered + 1e-9 >= q, "q={q} bound={bound} covered={covered}");
+        }
+
+        let mut zeros = Histogram::default();
+        zeros.observe_n(0, 10);
+        assert_eq!(zeros.percentile_upper_bound(0.9), 0);
     }
 
     #[test]

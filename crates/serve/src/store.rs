@@ -1,0 +1,185 @@
+//! Cold-tier scene store: encoded `.f3dm` containers plus the
+//! metadata the registry needs to rebuild each scene's model.
+
+use crate::error::ServeError;
+use fusion3d_nerf::encoding::HashGridConfig;
+use fusion3d_nerf::io::{self, ContainerHeader, Precision};
+use fusion3d_nerf::math::Vec3;
+use fusion3d_nerf::model::{ModelConfig, NerfModel};
+use fusion3d_nerf::occupancy::OccupancyGrid;
+use fusion3d_nerf::scenes::{ProceduralScene, SyntheticScene};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Identifier of a scene inside one [`SceneStore`]: a dense index
+/// assigned at insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SceneId(pub u32);
+
+impl SceneId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+struct StoredScene {
+    name: String,
+    config: ModelConfig,
+    background: Vec3,
+    container: Vec<u8>,
+}
+
+/// The cold tier of the serving stack: every servable scene's encoded
+/// `.f3dm` container, its model architecture (containers store only
+/// parameters), and its rendering background.
+///
+/// The store is immutable during a trace replay; the
+/// [`crate::registry::SceneRegistry`] pulls containers out of it on
+/// cache misses.
+#[derive(Debug, Default)]
+pub struct SceneStore {
+    scenes: Vec<StoredScene>,
+}
+
+impl SceneStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a scene from an already-encoded container. Returns
+    /// the id future requests address it by.
+    pub fn register(
+        &mut self,
+        name: &str,
+        config: ModelConfig,
+        background: Vec3,
+        container: Vec<u8>,
+    ) -> SceneId {
+        let id = SceneId(self.scenes.len() as u32);
+        self.scenes.push(StoredScene { name: name.to_string(), config, background, container });
+        id
+    }
+
+    /// Registers a scene by encoding `model` + `occupancy` into a
+    /// fresh container at the given precision.
+    pub fn register_model(
+        &mut self,
+        name: &str,
+        config: ModelConfig,
+        background: Vec3,
+        model: &NerfModel,
+        occupancy: &OccupancyGrid,
+        precision: Precision,
+    ) -> SceneId {
+        let container = io::encode_model(model, occupancy, precision);
+        self.register(name, config, background, container)
+    }
+
+    /// Number of registered scenes.
+    pub fn len(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// True when no scene is registered.
+    pub fn is_empty(&self) -> bool {
+        self.scenes.is_empty()
+    }
+
+    /// The scene's human-readable name.
+    pub fn name(&self, id: SceneId) -> Option<&str> {
+        self.scenes.get(id.index()).map(|s| s.name.as_str())
+    }
+
+    /// The scene's model architecture.
+    pub fn config(&self, id: SceneId) -> Option<&ModelConfig> {
+        self.scenes.get(id.index()).map(|s| &s.config)
+    }
+
+    /// The scene's background radiance.
+    pub fn background(&self, id: SceneId) -> Option<Vec3> {
+        self.scenes.get(id.index()).map(|s| s.background)
+    }
+
+    /// The scene's encoded container bytes.
+    pub fn container(&self, id: SceneId) -> Option<&[u8]> {
+        self.scenes.get(id.index()).map(|s| s.container.as_slice())
+    }
+
+    /// The container header, decoded via the [`io::peek_header`]
+    /// load/evict hook — how the registry prices a scene against its
+    /// byte budget without decoding parameters.
+    pub fn header(&self, id: SceneId) -> Result<ContainerHeader, ServeError> {
+        let scene = self.scenes.get(id.index()).ok_or(ServeError::UnknownScene(id.0))?;
+        io::peek_header(&scene.container)
+            .map_err(|source| ServeError::Decode { scene: id.0, source })
+    }
+
+    /// A store holding the first `scene_count` of the paper's eight
+    /// synthetic scenes (capped at eight), each as a small
+    /// randomly-initialized model encoded at `f16` with the scene's
+    /// procedural occupancy grid. Deterministic: scene `k` always
+    /// seeds its parameters with `k`.
+    ///
+    /// This is the fixture every serve test and benchmark builds on;
+    /// real deployments would [`Self::register`] trained containers
+    /// produced by the `fusion3d` CLI instead.
+    pub fn synthetic(scene_count: usize) -> Self {
+        let config = ModelConfig {
+            grid: HashGridConfig {
+                levels: 4,
+                features_per_level: 2,
+                log2_table_size: 11,
+                base_resolution: 4,
+                max_resolution: 32,
+            },
+            hidden_dim: 16,
+            geo_feature_dim: 7,
+        };
+        let mut store = Self::new();
+        for (k, scene) in SyntheticScene::ALL.iter().take(scene_count).enumerate() {
+            let mut rng = SmallRng::seed_from_u64(k as u64);
+            let model = NerfModel::new(config, &mut rng);
+            let procedural = ProceduralScene::synthetic(*scene);
+            let occupancy = procedural.occupancy_grid(24);
+            store.register_model(
+                scene.name(),
+                config,
+                procedural.background(),
+                &model,
+                &occupancy,
+                Precision::F16,
+            );
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_store_round_trips_headers() {
+        let store = SceneStore::synthetic(3);
+        assert_eq!(store.len(), 3);
+        for k in 0..3u32 {
+            let id = SceneId(k);
+            let header = store.header(id).expect("header");
+            let container = store.container(id).expect("container");
+            assert_eq!(header.container_bytes(), container.len() as u64);
+            assert!(store.name(id).is_some());
+            assert!(store.background(id).is_some());
+        }
+        assert!(store.header(SceneId(9)).is_err());
+        assert!(store.container(SceneId(9)).is_none());
+    }
+
+    #[test]
+    fn synthetic_store_caps_at_eight_scenes() {
+        assert_eq!(SceneStore::synthetic(64).len(), 8);
+        assert!(SceneStore::synthetic(0).is_empty());
+    }
+}

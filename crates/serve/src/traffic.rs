@@ -1,0 +1,157 @@
+//! Closed-form traffic generator: Poisson arrivals, Zipf scene
+//! popularity, camera-path replay.
+//!
+//! Everything derives from one seeded [`SmallRng`], so a
+//! `(TrafficConfig, seed)` pair *is* the trace: two generators with
+//! the same inputs emit bitwise-identical request streams, which is
+//! what the serving determinism contract replays.
+
+use crate::store::SceneId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one generated request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Number of scenes requests are drawn over (ids `0..scene_count`).
+    pub scene_count: usize,
+    /// Total requests to emit.
+    pub requests: usize,
+    /// Mean Poisson inter-arrival gap in simulated cycles. The
+    /// offered load knob: halving it doubles the arrival rate.
+    pub mean_interarrival_cycles: f64,
+    /// Zipf popularity exponent (`0` = uniform; `~1` = classic
+    /// heavy-tailed scene popularity). Scene 0 is the most popular.
+    pub zipf_exponent: f64,
+    /// Length of the orbit camera path each scene's requests replay.
+    pub path_len: u32,
+}
+
+impl TrafficConfig {
+    /// A small stream for smoke tests: enough requests to exercise
+    /// batching and eviction, short enough for CI.
+    pub fn smoke(scene_count: usize) -> Self {
+        Self {
+            scene_count,
+            requests: 48,
+            mean_interarrival_cycles: 50_000.0,
+            zipf_exponent: 0.9,
+            path_len: 12,
+        }
+    }
+}
+
+/// One render request of a trace: which scene, seen from which pose
+/// of the replayed camera path, arriving at which simulated cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival cycle (non-decreasing across a generated trace).
+    pub cycle: u64,
+    /// Requested scene.
+    pub scene: SceneId,
+    /// Index into the scene's camera path.
+    pub pose: u32,
+}
+
+/// Generates a request trace: exponential inter-arrival gaps of the
+/// configured mean (a Poisson process), scene popularity by Zipf CDF
+/// inversion, and per-scene camera poses replayed round-robin along
+/// the path — successive requests for one scene walk its orbit in
+/// order, like a client panning a reconstructed scene.
+pub fn generate(config: &TrafficConfig, seed: u64) -> Vec<Request> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let scene_count = config.scene_count.max(1);
+    // Zipf CDF over scene ranks.
+    let mut cdf = Vec::with_capacity(scene_count);
+    let mut total = 0.0f64;
+    for k in 0..scene_count {
+        total += 1.0 / ((k + 1) as f64).powf(config.zipf_exponent);
+        cdf.push(total);
+    }
+    let mut cursor = vec![0u32; scene_count];
+    let mut out = Vec::with_capacity(config.requests);
+    let mut t = 0.0f64;
+    let path_len = config.path_len.max(1);
+    for _ in 0..config.requests {
+        let u: f64 = rng.gen();
+        // Inverse-CDF exponential gap; (1 - u) avoids ln(0).
+        t += -config.mean_interarrival_cycles.max(0.0) * (1.0 - u).ln();
+        let v: f64 = rng.gen::<f64>() * total;
+        let scene = cdf.iter().position(|&c| v < c).unwrap_or(scene_count - 1);
+        let pose = cursor.get(scene).copied().unwrap_or(0);
+        if let Some(c) = cursor.get_mut(scene) {
+            *c = (pose + 1) % path_len;
+        }
+        out.push(Request { cycle: t as u64, scene: SceneId(scene as u32), pose });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace_different_seed_differs() {
+        let config = TrafficConfig::smoke(4);
+        let a = generate(&config, 11);
+        let b = generate(&config, 11);
+        let c = generate(&config, 12);
+        assert_eq!(a, b, "identical inputs must replay bitwise");
+        assert_ne!(a, c, "the seed must matter");
+        assert_eq!(a.len(), config.requests);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_scenes_in_range() {
+        let config = TrafficConfig { scene_count: 5, requests: 400, ..TrafficConfig::smoke(5) };
+        let trace = generate(&config, 3);
+        for pair in trace.windows(2) {
+            assert!(pair[0].cycle <= pair[1].cycle, "arrivals must be non-decreasing");
+        }
+        for r in &trace {
+            assert!((r.scene.0 as usize) < config.scene_count);
+            assert!(r.pose < config.path_len);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let config = TrafficConfig {
+            scene_count: 6,
+            requests: 3000,
+            zipf_exponent: 1.1,
+            ..TrafficConfig::smoke(6)
+        };
+        let trace = generate(&config, 9);
+        let mut counts = [0u32; 6];
+        for r in &trace {
+            counts[r.scene.0 as usize] += 1;
+        }
+        assert!(counts[0] > 2 * counts[5], "rank 0 should dominate the tail: {counts:?}");
+    }
+
+    #[test]
+    fn poses_replay_the_camera_path_in_order() {
+        let config =
+            TrafficConfig { scene_count: 1, requests: 30, path_len: 8, ..TrafficConfig::smoke(1) };
+        let trace = generate(&config, 4);
+        for (k, r) in trace.iter().enumerate() {
+            assert_eq!(r.pose, (k as u32) % 8, "single-scene poses walk the orbit");
+        }
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_the_configured_rate() {
+        let config = TrafficConfig {
+            scene_count: 2,
+            requests: 4000,
+            mean_interarrival_cycles: 1000.0,
+            ..TrafficConfig::smoke(2)
+        };
+        let trace = generate(&config, 21);
+        let span = trace.last().map_or(0, |r| r.cycle) as f64;
+        let mean = span / trace.len() as f64;
+        assert!((mean - 1000.0).abs() < 100.0, "empirical mean gap {mean}");
+    }
+}

@@ -25,4 +25,18 @@ cargo test -q -p fusion3d-nerf --features obs
 # Keep the throughput harness runnable; the smoke run takes ~a second
 # and writes its report under target/ (full runs write BENCH_perf.json).
 cargo run --release -q -p fusion3d-bench --bin perf -- --smoke --out target/BENCH_perf_smoke.json
+# Serving harness smoke: run the same short trace at 1 and 4 kernel
+# workers and hold the reports byte-identical (the serve determinism
+# contract, docs/SERVING.md), then assert the schema keys are present.
+cargo run --release -q -p fusion3d-bench --bin serve -- --smoke --threads 1 --out target/BENCH_serve_smoke.json > /dev/null
+cargo run --release -q -p fusion3d-bench --bin serve -- --smoke --threads 4 --out target/BENCH_serve_smoke_t4.json > /dev/null
+cmp target/BENCH_serve_smoke.json target/BENCH_serve_smoke_t4.json \
+  || { echo "BENCH_serve smoke diverges between 1 and 4 threads"; exit 1; }
+for key in '"schema": "fusion3d-serve-v1"' p50_latency_cycles p99_latency_cycles \
+           throughput_rps hit_rate response_checksum scene_table; do
+  grep -q "$key" target/BENCH_serve_smoke.json \
+    || { echo "BENCH_serve smoke missing key: $key"; exit 1; }
+done
+# Docs must not rot: every relative link in the Markdown tree resolves.
+./scripts/check_doc_links.sh
 echo "All tier-1 checks passed."

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Dead-link check over the Markdown docs: every relative link target
+# in README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md, and docs/*.md
+# must exist on disk. External (http/https/mailto) links and pure
+# in-page anchors (#...) are skipped; a relative link's own #anchor
+# suffix is stripped before the existence check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Inline markdown links: capture the (...) target of every [...](...).
+  # Reference-style definitions are rare here; inline covers the tree.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link in $doc: ($target)"
+      status=1
+    fi
+  done < <(grep -o '\][(][^)]*[)]' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_doc_links: dead relative links found."
+else
+  echo "check_doc_links: all relative doc links resolve."
+fi
+exit "$status"
